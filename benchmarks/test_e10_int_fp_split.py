@@ -1,0 +1,23 @@
+"""E10 — INT vs FP breakdown of the headline result.
+
+Expected shape: FP codes (regular, strand-parallel, streaming) take more
+advantage of the second core than INT codes (branchy, pointer-chasing)
+under *both* schemes; Fg-STP tracks Core Fusion in both suites.
+"""
+
+from conftest import SUITE_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e10_int_fp_split(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E10", SUITE_CONFIG)
+    print_report(report)
+    by_key = {(row[0], row[1]): row for row in report.rows}
+    for config in ("medium", "small"):
+        int_row = by_key[(config, "int")]
+        fp_row = by_key[(config, "fp")]
+        # Both suites gain from the second core under both schemes.
+        assert int_row[4] > 1.0 and fp_row[4] > 1.0
+        # Fg-STP stays in Core Fusion's league on both suites.
+        assert int_row[5] > 0.85 and fp_row[5] > 0.85

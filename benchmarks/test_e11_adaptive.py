@@ -1,0 +1,20 @@
+"""E11 (extension) — adaptive reconfiguration vs always-on Fg-STP.
+
+Expected shape: mode sampling keeps Fg-STP engaged where it pays and
+otherwise falls back to one core, so the adaptive scheme is never much
+worse than the better of the two modes on any benchmark.
+"""
+
+from conftest import ADAPTIVE_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e11_adaptive(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E11", ADAPTIVE_CONFIG)
+    print_report(report)
+    for row in report.rows:
+        name, ipc_single, ipc_fgstp, ipc_adaptive = row[:4]
+        best = max(ipc_single, ipc_fgstp)
+        # Sampling + reconfiguration overhead bounded at ~15%.
+        assert ipc_adaptive > 0.85 * best, name

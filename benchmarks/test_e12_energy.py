@@ -1,0 +1,24 @@
+"""E12 (extension) — energy and energy-delay of the three machines.
+
+Expected shape: both two-core schemes spend more energy per instruction
+than one core (second core's static power plus fabric/crossbar
+activity); the performance gain partially pays it back, so the relative
+energy-delay product stays well below 2x.
+"""
+
+from conftest import SUITE_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e12_energy(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E12", SUITE_CONFIG)
+    print_report(report)
+    for row in report.rows:
+        name, epi_single, epi_cf, epi_fg = row[:4]
+        # Two active cores always cost more per instruction...
+        assert epi_cf > epi_single, name
+        assert epi_fg > epi_single, name
+    # ...but speedup keeps the energy-delay blow-up modest.
+    assert report.metrics["geomean_edp_fgstp_vs_single"] < 1.8
+    assert report.metrics["geomean_edp_cf_vs_single"] < 1.8

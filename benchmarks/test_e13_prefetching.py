@@ -1,0 +1,26 @@
+"""E13 (extension) — stream-prefetching ablation.
+
+Expected shape: a stride prefetcher lifts streaming workloads on every
+machine (single, Core Fusion, Fg-STP alike), and the Fg-STP-vs-Core
+Fusion comparison keeps roughly the same structure with prefetching on —
+the paper's conclusions are not an artefact of running without one.
+"""
+
+from conftest import SUITE_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e13_prefetching(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E13", SUITE_CONFIG)
+    print_report(report)
+    # Prefetching helps the streaming benchmarks on the single core.
+    streaming_gain = [row[1] for row in report.rows
+                      if row[0] in ("lbm", "bwaves", "leslie3d")]
+    assert streaming_gain and max(streaming_gain) > 1.05
+    # Prefetching never wrecks any machine (>= 0.95x everywhere).
+    for row in report.rows:
+        for gain in row[1:4]:
+            assert gain > 0.95, row[0]
+    # The cross-machine comparison survives prefetching.
+    assert 0.8 < report.metrics["geomean_fgstp_vs_cf_with_pf"] < 1.3

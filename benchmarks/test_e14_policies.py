@@ -1,0 +1,23 @@
+"""E14 (extension) — partition-policy comparison.
+
+Expected shape: the slice-growth ("chain") policy beats naive
+round-robin (which maximises cut chains) and the access/execute
+decoupled split (which serialises through the fabric); block-modulo
+sits in between; routing everything to one core tracks the single-core
+baseline.
+"""
+
+from conftest import SWEEP_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e14_policies(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E14", SWEEP_CONFIG)
+    print_report(report)
+    geomeans = {row[0]: row[-1] for row in report.rows}
+    assert geomeans["chain"] > geomeans["roundrobin"]
+    assert geomeans["chain"] > geomeans["decoupled"]
+    assert geomeans["chain"] > geomeans["single"]
+    # The sanity bound: single-policy Fg-STP ~ the 1-core baseline.
+    assert 0.85 < geomeans["single"] < 1.1

@@ -1,0 +1,24 @@
+"""E15 (extension) — branch-predictor study.
+
+Expected shape: predictor quality ranks TAGE >= tournament >
+gshare/bimodal on mispredict-sensitive codes, and lower misprediction
+rates track higher IPC.
+"""
+
+from conftest import SWEEP_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e15_predictors(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E15", SWEEP_CONFIG)
+    print_report(report)
+    by_kind = {row[0]: (row[1], row[2]) for row in report.rows}
+    # History-based predictors beat the plain bimodal on misprediction
+    # rate.
+    assert by_kind["tage"][0] < by_kind["bimodal"][0]
+    assert by_kind["tournament"][0] < by_kind["bimodal"][0]
+    # The best predictor by rate is also at (or near) the top by IPC.
+    best_rate = min(by_kind.values(), key=lambda pair: pair[0])
+    best_ipc = max(by_kind.values(), key=lambda pair: pair[1])
+    assert best_rate[1] >= 0.95 * best_ipc[1]

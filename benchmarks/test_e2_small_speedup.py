@@ -1,0 +1,19 @@
+"""E2 — headline: Fg-STP vs Core Fusion vs single core, small 2-core CMP.
+
+Same table as E1 on the small (2-wide) cores.  Expected shape: both
+schemes still beat one core; the Fg-STP-vs-Core-Fusion gap is smaller
+than on the medium configuration (the paper reports +7% vs +18%).
+"""
+
+from conftest import SUITE_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e2_small_speedup(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E2", SUITE_CONFIG)
+    print_report(report)
+    metrics = report.metrics
+    assert metrics["geomean_fgstp_speedup"] > 1.05
+    assert metrics["geomean_corefusion_speedup"] > 1.05
+    assert metrics["geomean_fgstp_over_corefusion"] > 0.85

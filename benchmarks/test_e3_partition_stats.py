@@ -1,0 +1,24 @@
+"""E3 — partition characterisation: balance, replication, communication.
+
+Regenerates the mechanism-statistics table: fraction of instructions on
+the second core, replication rate, queue values per 100 instructions,
+cross-core memory dependences and squashes, per benchmark.
+"""
+
+from conftest import SUITE_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e3_partition_stats(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E3", SUITE_CONFIG)
+    print_report(report)
+    for row in report.rows:
+        name, frac_core1, replication, comm, _deps, _squashes = row
+        # Work genuinely splits across the cores...
+        assert 0.15 < frac_core1 < 0.85, name
+        # ...with bounded fabric traffic.
+        assert comm < 60.0, name
+        assert 0.0 <= replication < 0.5, name
+    # Partition-friendly codes communicate; the suite average is nonzero.
+    assert sum(row[3] for row in report.rows) > 0

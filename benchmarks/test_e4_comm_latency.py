@@ -1,0 +1,24 @@
+"""E4 — sensitivity of Fg-STP speedup to inter-core queue latency.
+
+Expected shape: speedup decays monotonically (modulo noise) as the
+queue latency grows; at very high latency the second core stops paying
+for itself on communication-heavy codes.
+"""
+
+from conftest import SWEEP_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e4_comm_latency(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E4", SWEEP_CONFIG)
+    print_report(report)
+    geomeans = [row[-1] for row in report.rows]
+    # Fast queues strictly beat the slowest sweep point.
+    assert geomeans[0] > geomeans[-1]
+    # Broadly decreasing: every point is within noise of its
+    # predecessors' minimum.
+    running_min = geomeans[0]
+    for value in geomeans[1:]:
+        assert value <= running_min * 1.03
+        running_min = min(running_min, value)

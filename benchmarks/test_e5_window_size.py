@@ -1,0 +1,20 @@
+"""E5 — sensitivity of Fg-STP speedup to the lookahead window size.
+
+Expected shape: speedup grows with the window and then saturates —
+beyond the point where both cores' execution resources are covered,
+extra lookahead adds nothing.
+"""
+
+from conftest import SWEEP_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e5_window_size(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E5", SWEEP_CONFIG)
+    print_report(report)
+    geomeans = [row[-1] for row in report.rows]
+    # The largest window beats the smallest.
+    assert geomeans[-1] > geomeans[0]
+    # Saturation: doubling 512 -> 1024 moves the needle by < 5%.
+    assert abs(geomeans[-1] - geomeans[-2]) / geomeans[-2] < 0.05

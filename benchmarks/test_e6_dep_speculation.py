@@ -1,0 +1,25 @@
+"""E6 — dependence-speculation ablation.
+
+Expected shape: disabling speculation (loads conservatively wait for the
+other core's stores) costs real performance on average; with speculation
+on, violations are rare and the predictor converts repeat offenders into
+synchronisations.
+"""
+
+from conftest import SUITE_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e6_dep_speculation(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E6", SUITE_CONFIG)
+    print_report(report)
+    gain = report.metrics["geomean_speculation_gain"]
+    assert gain > 1.05  # speculation is a clear average win
+    for row in report.rows:
+        name, _ipc_spec, _ipc_nospec, spec_gain = row[:4]
+        violations, _syncs, squashes = row[4:]
+        assert spec_gain > 0.9, name      # never a big loss
+        assert squashes <= violations + 1, name
+        # Squashes stay rare relative to the instruction count.
+        assert squashes < 50, name

@@ -1,0 +1,25 @@
+"""E7 — replication ablation.
+
+Expected shape: replication trades duplicated execution for less
+communication; it never costs much, pays on codes whose shared values
+(induction chains, base addresses) feed both cores, and measurably cuts
+queue traffic where it fires.
+"""
+
+from conftest import SUITE_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e7_replication(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E7", SUITE_CONFIG)
+    print_report(report)
+    gain = report.metrics["geomean_replication_gain"]
+    assert gain > 0.97  # at worst a wash on average
+    fired = [row for row in report.rows if row[4] > 0.001]
+    assert fired, "replication never engaged on any benchmark"
+    # Where replication fires meaningfully, traffic must not inflate.
+    for row in fired:
+        name = row[0]
+        comm_repl, comm_norepl = row[5], row[6]
+        assert comm_repl <= comm_norepl * 1.15, name

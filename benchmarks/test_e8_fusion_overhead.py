@@ -1,0 +1,24 @@
+"""E8 — Core Fusion fusion-overhead sensitivity (baseline validation).
+
+Expected shape: the fused machine's speedup over one core erodes
+monotonically as the added front-end depth grows — validating that the
+baseline model responds to its overhead knobs the way the Core Fusion
+paper describes.
+"""
+
+from conftest import SWEEP_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e8_fusion_overhead(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E8", SWEEP_CONFIG)
+    print_report(report)
+    geomeans = [row[-1] for row in report.rows]
+    # Zero overhead strictly beats the heaviest setting.
+    assert geomeans[0] > geomeans[-1]
+    # Broadly decreasing in the overhead.
+    running_min = geomeans[0]
+    for value in geomeans[1:]:
+        assert value <= running_min * 1.02
+        running_min = min(running_min, value)

@@ -1,0 +1,21 @@
+"""E9 — sensitivity of Fg-STP speedup to queue bandwidth.
+
+Expected shape: one value per cycle can bottleneck bursty communication;
+two values per cycle recover nearly all of it, and four adds little —
+the fabric needs modest bandwidth, not wide buses.
+"""
+
+from conftest import SWEEP_CONFIG, run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_e9_comm_bandwidth(benchmark, print_report):
+    report = run_once(benchmark, run_experiment, "E9", SWEEP_CONFIG)
+    print_report(report)
+    geomeans = [row[-1] for row in report.rows]
+    # More bandwidth never hurts (within noise)...
+    assert geomeans[1] >= geomeans[0] * 0.99
+    assert geomeans[2] >= geomeans[1] * 0.99
+    # ...and saturates quickly: 2 -> 4 is within 3%.
+    assert (geomeans[2] - geomeans[1]) / geomeans[1] < 0.03

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Is borrowing the second core worth its energy?
+
+Runs a slice of the suite on all three machines and reports energy per
+instruction and energy-delay product (relative units) next to the
+speedups — the cost/benefit picture behind single-thread acceleration.
+
+Usage::
+
+    python examples/energy_study.py [benchmark ...]
+"""
+
+import sys
+
+from repro.corefusion import simulate_core_fusion
+from repro.fgstp import simulate_fgstp
+from repro.stats import energy_of, render_table
+from repro.uarch import medium_core_config, simulate_single_core
+from repro.workloads import generate_trace
+
+DEFAULT = ("hmmer", "mcf", "libquantum", "lbm")
+LENGTH, WARMUP = 20000, 7000
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or DEFAULT
+    base = medium_core_config()
+    rows = []
+    for name in benchmarks:
+        trace = generate_trace(name, LENGTH)
+        single = simulate_single_core(trace, base, workload=name,
+                                      warmup=WARMUP)
+        fusion = simulate_core_fusion(trace, base, workload=name,
+                                      warmup=WARMUP)
+        fgstp = simulate_fgstp(trace, base, workload=name, warmup=WARMUP)
+        e_single = energy_of(single)
+        e_fusion = energy_of(fusion)
+        e_fgstp = energy_of(fgstp)
+        rows.append([
+            name,
+            single.cycles / fgstp.cycles,
+            e_fgstp.energy_per_instruction
+            / e_single.energy_per_instruction,
+            e_fgstp.energy_delay_product / e_single.energy_delay_product,
+            single.cycles / fusion.cycles,
+            e_fusion.energy_delay_product
+            / e_single.energy_delay_product,
+        ])
+    print(render_table(
+        ["benchmark", "fgstp_speedup", "fgstp_epi_ratio",
+         "fgstp_edp_ratio", "cf_speedup", "cf_edp_ratio"],
+        rows,
+        title="Energy cost of single-thread acceleration "
+              "(ratios vs one core; edp_ratio < 1 means the speedup "
+              "more than pays for the energy)"))
+    print("\nReading: epi_ratio > 1 always (two active cores); an "
+          "edp_ratio close to or below 1\nmeans the speedup pays for "
+          "the energy — the borrowed core is 'free' in energy-delay.")
+
+
+if __name__ == "__main__":
+    main()

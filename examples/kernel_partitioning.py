@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Partitioning real programs: which kernels benefit from Fg-STP?
+
+Unlike the statistical SPEC-like suite, these are genuine assembly
+programs executed by the functional interpreter — their results are
+checkable and their dependence structure is exactly what the source
+says.  The study contrasts:
+
+* ``vector_sum`` / ``dot_product`` — streaming, iteration-parallel:
+  the partitioner can spread iterations over both cores;
+* ``linked_list`` — a fully serial pointer chase: there is nothing to
+  partition, Fg-STP should neither help nor hurt much;
+* ``branchy_search`` — data-dependent branches: mispredict-bound;
+* ``matmul`` — nested FP loops with reduction chains.
+
+Usage::
+
+    python examples/kernel_partitioning.py
+"""
+
+from repro.corefusion import simulate_core_fusion
+from repro.fgstp import simulate_fgstp
+from repro.stats import render_table
+from repro.uarch import medium_core_config, simulate_single_core
+from repro.workloads import KERNELS, run_kernel
+
+SIZES = {
+    "vector_sum": {"n": 2500},
+    "dot_product": {"n": 1500},
+    "linked_list": {"nodes": 400, "hops": 3000},
+    "branchy_search": {"n": 1800},
+    "matmul": {"n": 10},
+    "stencil": {"n": 600, "sweeps": 3},
+    "histogram": {"n": 1500, "buckets": 64},
+    "binary_search": {"size": 1024, "lookups": 300},
+}
+
+
+def main() -> None:
+    base = medium_core_config()
+    rows = []
+    for name in KERNELS:
+        execution = run_kernel(name, **SIZES[name])
+        trace = execution.trace
+        warmup = min(2000, len(trace) // 4)
+        single = simulate_single_core(trace, base, workload=name,
+                                      warmup=warmup)
+        fusion = simulate_core_fusion(trace, base, workload=name,
+                                      warmup=warmup)
+        fgstp = simulate_fgstp(trace, base, workload=name, warmup=warmup)
+        partition = fgstp.extra["partition"]
+        rows.append([
+            name,
+            len(trace),
+            single.ipc,
+            single.cycles / fusion.cycles,
+            single.cycles / fgstp.cycles,
+            partition["on_core1"] / max(partition["assigned"], 1),
+            partition["replication_rate"],
+        ])
+    print(render_table(
+        ["kernel", "instructions", "ipc_single", "speedup_cf",
+         "speedup_fgstp", "frac_core1", "replication"],
+        rows,
+        title="Fg-STP on real assembly kernels (medium config)"))
+    print("\nReading the table: iteration-parallel kernels split well "
+          "(frac_core1 near 0.5\nwith real speedup); the serial "
+          "linked-list walk has nothing to partition.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: one benchmark, three machines.
+
+Runs the `hmmer` SPEC-2006-like workload on:
+
+* one unmodified out-of-order core (the baseline),
+* two cores fused Core Fusion-style, and
+* two cores running Fg-STP (the paper's scheme),
+
+then prints IPCs, speedups, and the Fg-STP mechanism statistics.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [config]
+
+    benchmark: any SPEC 2006 name from repro.workloads (default: hmmer)
+    config:    small | medium (default: medium)
+"""
+
+import sys
+
+from repro.corefusion import simulate_core_fusion
+from repro.fgstp import simulate_fgstp
+from repro.stats import render_table
+from repro.uarch import core_config, simulate_single_core
+from repro.workloads import generate_trace
+
+LENGTH = 30000
+WARMUP = 10000
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "hmmer"
+    config_name = sys.argv[2] if len(sys.argv) > 2 else "medium"
+    base = core_config(config_name)
+
+    print(f"Generating {LENGTH} instructions of {benchmark!r}...")
+    trace = generate_trace(benchmark, LENGTH)
+
+    print(f"Simulating on the {config_name} configuration "
+          f"({WARMUP} warm-up instructions)...\n")
+    single = simulate_single_core(trace, base, workload=benchmark,
+                                  warmup=WARMUP)
+    fusion = simulate_core_fusion(trace, base, workload=benchmark,
+                                  warmup=WARMUP)
+    fgstp = simulate_fgstp(trace, base, workload=benchmark, warmup=WARMUP)
+
+    rows = [
+        ["single core", single.cycles, single.ipc, 1.0],
+        ["core fusion", fusion.cycles, fusion.ipc,
+         single.cycles / fusion.cycles],
+        ["fg-stp", fgstp.cycles, fgstp.ipc, single.cycles / fgstp.cycles],
+    ]
+    print(render_table(["machine", "cycles", "ipc", "speedup"], rows,
+                       title=f"{benchmark} on {config_name} cores"))
+
+    partition = fgstp.extra["partition"]
+    queues = fgstp.extra["queues"]
+    sends = queues["q0to1"]["sends"] + queues["q1to0"]["sends"]
+    print("\nFg-STP mechanism statistics:")
+    print(f"  instructions on core 1:  "
+          f"{partition['on_core1'] / max(partition['assigned'], 1):.1%}")
+    print(f"  replicated instructions: {partition['replication_rate']:.2%}")
+    print(f"  queue transfers / 100:   "
+          f"{100 * sends / fgstp.instructions:.1f}")
+    print(f"  dependence violations:   "
+          f"{fgstp.extra['dep_predictor']['violations']}")
+    print(f"  pipeline squashes:       {fgstp.extra['squashes']}")
+
+
+if __name__ == "__main__":
+    main()

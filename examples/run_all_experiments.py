@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Regenerate every table/figure of the evaluation (E1..E11).
+
+This is the paper-reproduction entry point: it runs the full experiment
+registry at the configured size and prints each report.  Expect several
+minutes at full size; pass ``--quick`` for a fast, smaller-trace pass.
+
+Usage::
+
+    python examples/run_all_experiments.py [--quick] [E1 E4 ...]
+"""
+
+import sys
+import time
+
+from repro.harness import FULL, QUICK, REGISTRY, run_experiment
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    quick = "--quick" in args
+    wanted = [a for a in args if not a.startswith("-")]
+    config = QUICK if quick else FULL
+    experiment_ids = wanted or sorted(REGISTRY, key=lambda e: int(e[1:]))
+
+    for experiment_id in experiment_ids:
+        started = time.time()
+        report = run_experiment(experiment_id, config)
+        print(report.render())
+        if report.notes:
+            print(f"  note: {report.notes}")
+        print(f"  [{time.time() - started:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

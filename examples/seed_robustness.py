@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Seed-robustness study: are the headline speedups statistical flukes?
+
+Repeats the single-core vs Fg-STP vs Core Fusion comparison over several
+independent workload seeds per benchmark and prints mean speedups with
+95% confidence intervals.
+
+Usage::
+
+    python examples/seed_robustness.py [benchmark ...]
+"""
+
+import sys
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.multiseed import seed_study
+from repro.stats import render_table
+from repro.uarch import medium_core_config
+
+DEFAULT_BENCHMARKS = ("hmmer", "libquantum", "sjeng", "mcf")
+SEEDS = (1, 2, 3, 4)
+CONFIG = ExperimentConfig(trace_length=15000, warmup=5000)
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or DEFAULT_BENCHMARKS
+    base = medium_core_config()
+    rows = []
+    for name in benchmarks:
+        fgstp = seed_study(name, "fgstp", base, CONFIG, seeds=SEEDS)
+        fusion = seed_study(name, "corefusion", base, CONFIG, seeds=SEEDS)
+        rows.append([
+            name,
+            f"{fgstp.mean:.3f} ± {fgstp.ci95:.3f}",
+            f"{fusion.mean:.3f} ± {fusion.ci95:.3f}",
+            fgstp.significantly_above(1.0),
+        ])
+    print(render_table(
+        ["benchmark", "fgstp_speedup(95%CI)", "corefusion_speedup(95%CI)",
+         "fgstp>1_significant"],
+        rows,
+        title=f"Speedups over one core across {len(SEEDS)} workload seeds"))
+
+
+if __name__ == "__main__":
+    main()

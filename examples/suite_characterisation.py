@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Characterise the synthetic SPEC 2006-like suite.
+
+Prints, for every benchmark, the trace-level properties (mix, branch
+behaviour, dependence distances) next to the measured single-core
+behaviour (IPC, branch misprediction rate, cache miss rates) — the
+sanity table you would check before trusting any cross-machine result.
+
+Usage::
+
+    python examples/suite_characterisation.py [length]
+"""
+
+import sys
+
+from repro.stats import render_table
+from repro.trace import summarize
+from repro.uarch import medium_core_config, simulate_single_core
+from repro.workloads import generate_trace, get_profile, suite_names
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    warmup = length // 3
+    base = medium_core_config()
+    rows = []
+    for name in suite_names("all"):
+        profile = get_profile(name)
+        trace = generate_trace(name, length)
+        stats = summarize(trace)
+        result = simulate_single_core(trace, base, workload=name,
+                                      warmup=warmup)
+        rows.append([
+            name,
+            profile.suite,
+            stats.branch_fraction,
+            stats.load_fraction + stats.store_fraction,
+            stats.mean_dependence_distance,
+            result.ipc,
+            result.extra["branch"]["misprediction_rate"],
+            result.extra["caches"]["l1d"]["miss_rate"],
+        ])
+    print(render_table(
+        ["benchmark", "suite", "branches", "memory", "dep_dist",
+         "ipc", "br_miss", "l1d_miss"],
+        rows,
+        title=f"Synthetic suite on one medium core "
+              f"({length} instructions, {warmup} warm-up)"))
+
+
+if __name__ == "__main__":
+    main()

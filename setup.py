@@ -1,0 +1,18 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no `wheel` package,
+so PEP 660 editable installs fail; this legacy setup.py keeps
+`pip install -e .` working offline.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Fg-STP: Fine-Grain Single Thread Partitioning on "
+                 "Multicores (HPCA 2011) - full reproduction"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,34 @@
+"""Fg-STP reproduction: fine-grain single-thread partitioning on multicores.
+
+A from-scratch Python implementation of the system evaluated in
+"Fg-STP: Fine-Grain Single Thread Partitioning on Multicores"
+(Ranjan, Latorre, Marcuello, González — HPCA 2011), including every
+substrate it depends on:
+
+* :mod:`repro.isa` — a small RISC-like ISA, assembler and interpreter;
+* :mod:`repro.trace` — dynamic instruction traces;
+* :mod:`repro.workloads` — a SPEC 2006-like synthetic benchmark suite;
+* :mod:`repro.uarch` — cycle-level out-of-order core, branch predictors,
+  cache hierarchy (the single-core baselines);
+* :mod:`repro.corefusion` — the Core Fusion comparison baseline;
+* :mod:`repro.fgstp` — the paper's contribution: partitioner, value
+  queues, dependence speculation, replication, orchestrator;
+* :mod:`repro.stats` / :mod:`repro.harness` — results, tables and the
+  experiment registry regenerating every evaluated table/figure.
+
+Quickstart::
+
+    from repro.workloads import generate_trace
+    from repro.uarch import medium_core_config, simulate_single_core
+    from repro.fgstp import simulate_fgstp
+
+    trace = generate_trace("hmmer", 30000)
+    base = medium_core_config()
+    single = simulate_single_core(trace, base, warmup=10000)
+    fgstp = simulate_fgstp(trace, base, warmup=10000)
+    print(f"speedup: {single.cycles / fgstp.cycles:.2f}x")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

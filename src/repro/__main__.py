@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show the registered experiments and benchmark suite.
+* ``run E1 [E4 ...]`` — run experiments and print their tables.
+* ``simulate <benchmark>`` — run one benchmark on all three machines.
+* ``report`` — emit the full markdown experiment report (stdout).
+* ``validate`` — run the cross-model invariant battery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .corefusion.machine import simulate_core_fusion
+from .fgstp.orchestrator import simulate_fgstp
+from .harness.config import ExperimentConfig
+from .harness.experiments import REGISTRY, run_experiment
+from .harness.report import run_and_render
+from .stats.tables import render_table
+from .uarch.params import core_config
+from .uarch.pipeline.machine import simulate_single_core
+from .workloads.generator import generate_trace
+from .workloads.profiles import PROFILES
+from .workloads.suite import suite_names
+
+
+def _add_sizing(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--length", type=int, default=30000,
+                        help="trace length incl. warm-up (default 30000)")
+    parser.add_argument("--warmup", type=int, default=10000,
+                        help="functional warm-up instructions")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--benchmarks", nargs="*", default=[],
+                        help="restrict to these benchmarks")
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig(trace_length=args.length, warmup=args.warmup,
+                            seed=args.seed,
+                            benchmarks=list(args.benchmarks))
+
+
+def cmd_list(_args) -> int:
+    print("Experiments:")
+    for experiment_id in sorted(REGISTRY, key=lambda e: int(e[1:])):
+        doc = (REGISTRY[experiment_id].__doc__ or "").strip().splitlines()
+        print(f"  {experiment_id:4s} {doc[0] if doc else ''}")
+    print("\nBenchmarks:")
+    for suite in ("int", "fp"):
+        print(f"  {suite}: {', '.join(suite_names(suite))}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _config(args)
+    for experiment_id in args.experiments:
+        report = run_experiment(experiment_id.upper(), config)
+        print(report.render())
+        if report.notes:
+            print(f"  note: {report.notes}")
+        print()
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    if args.benchmark not in PROFILES:
+        print(f"unknown benchmark {args.benchmark!r}; see `list`",
+              file=sys.stderr)
+        return 2
+    base = core_config(args.config)
+    trace = generate_trace(args.benchmark, args.length, args.seed)
+    single = simulate_single_core(trace, base, workload=args.benchmark,
+                                  warmup=args.warmup)
+    fusion = simulate_core_fusion(trace, base, workload=args.benchmark,
+                                  warmup=args.warmup)
+    fgstp = simulate_fgstp(trace, base, workload=args.benchmark,
+                           warmup=args.warmup)
+    rows = [
+        ["single", single.cycles, single.ipc, 1.0],
+        ["corefusion", fusion.cycles, fusion.ipc,
+         single.cycles / fusion.cycles],
+        ["fgstp", fgstp.cycles, fgstp.ipc, single.cycles / fgstp.cycles],
+    ]
+    print(render_table(["machine", "cycles", "ipc", "speedup"], rows,
+                       title=f"{args.benchmark} on {args.config}"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    print(run_and_render(config=_config(args)))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .validation import validate_all
+
+    any_failed = False
+    for benchmark in (args.benchmarks or ["gcc", "milc", "mcf"]):
+        print(f"validating on {benchmark} "
+              f"({args.length} instructions)...")
+        results = validate_all(benchmark, length=args.length,
+                               seed=args.seed)
+        for result in results.values():
+            print(f"  {result}")
+            any_failed = any_failed or not result.passed
+    return 1 if any_failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Fg-STP reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show experiments and benchmarks")
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("experiments", nargs="+",
+                            help="experiment ids, e.g. E1 E4")
+    _add_sizing(run_parser)
+
+    sim_parser = sub.add_parser("simulate",
+                                help="one benchmark on all machines")
+    sim_parser.add_argument("benchmark")
+    sim_parser.add_argument("--config", default="medium",
+                            choices=("small", "medium"))
+    _add_sizing(sim_parser)
+
+    report_parser = sub.add_parser("report",
+                                   help="emit markdown for all experiments")
+    _add_sizing(report_parser)
+
+    validate_parser = sub.add_parser(
+        "validate", help="run the cross-model invariant battery")
+    _add_sizing(validate_parser)
+
+    args = parser.parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run,
+                "simulate": cmd_simulate, "report": cmd_report,
+                "validate": cmd_validate}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

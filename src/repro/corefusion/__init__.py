@@ -1,0 +1,5 @@
+"""Core Fusion baseline (Ipek et al., ISCA 2007) — fused-pair machine."""
+
+from .machine import CoreFusionMachine, fused_params, simulate_core_fusion
+
+__all__ = ["CoreFusionMachine", "fused_params", "simulate_core_fusion"]

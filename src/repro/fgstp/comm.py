@@ -1,0 +1,97 @@
+"""Inter-core value queues.
+
+Each direction between the two Fg-STP cores has one FIFO value queue with
+a fixed transfer latency and a per-cycle delivery bandwidth.  A queue
+entry is a :class:`repro.uarch.pipeline.uop.ValueTag`: satisfying the tag
+is what makes the value usable by consumers on the destination core.
+
+Delivery semantics: an entry sent at cycle ``s`` is eligible at
+``s + latency`` and is delivered in FIFO order, at most ``bandwidth``
+entries per cycle — so a burst of sends serialises at the queue mouth,
+which is exactly the contention the bandwidth-sensitivity experiment
+(E9) measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from ..uarch.pipeline.uop import Uop, ValueTag
+
+
+class InterCoreQueue:
+    """One direction of the inter-core communication fabric.
+
+    Args:
+        latency: Cycles from send to earliest delivery.
+        bandwidth: Maximum deliveries per cycle.
+        name: Label for stats (``"q0to1"`` / ``"q1to0"``).
+    """
+
+    def __init__(self, latency: int, bandwidth: int, name: str = "queue"):
+        if latency < 1:
+            raise ValueError(f"queue latency must be >= 1: {latency}")
+        if bandwidth < 1:
+            raise ValueError(f"queue bandwidth must be >= 1: {bandwidth}")
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.name = name
+        self._fifo: deque = deque()  # (eligible_cycle, tag)
+        self.sends = 0
+        self.deliveries = 0
+        self.contention_cycles = 0
+
+    def send(self, tag: ValueTag, cycle: int) -> None:
+        """Enqueue *tag*'s value, produced at *cycle*."""
+        self._fifo.append((cycle + self.latency, tag))
+        self.sends += 1
+
+    def deliver(self, cycle: int) -> List[Uop]:
+        """Deliver due entries (FIFO, bandwidth-limited) at *cycle*.
+
+        Returns:
+            Consumers that became fully ready and must be woken on the
+            destination core.
+        """
+        woken: List[Uop] = []
+        delivered = 0
+        fifo = self._fifo
+        while fifo and delivered < self.bandwidth:
+            eligible, tag = fifo[0]
+            if eligible > cycle:
+                break
+            fifo.popleft()
+            delivered += 1
+            self.deliveries += 1
+            if eligible < cycle:
+                # Entry waited past its latency: bandwidth contention.
+                self.contention_cycles += cycle - eligible
+            if tag.ready_cycle is None:
+                woken.extend(tag.satisfy(cycle))
+        if fifo and fifo[0][0] <= cycle:
+            # More was due than bandwidth allowed this cycle.
+            pass
+        return woken
+
+    def drop_squashed(self) -> int:
+        """Drop entries whose tag was already satisfied or orphaned.
+
+        Squashed consumers are skipped naturally by ``ValueTag.satisfy``,
+        so this is only a memory-hygiene pass; returns entries dropped.
+        """
+        before = len(self._fifo)
+        self._fifo = deque(
+            (eligible, tag) for eligible, tag in self._fifo
+            if tag.ready_cycle is None)
+        return before - len(self._fifo)
+
+    def pending(self) -> int:
+        return len(self._fifo)
+
+    def stats(self) -> dict:
+        return {
+            "sends": self.sends,
+            "deliveries": self.deliveries,
+            "contention_cycles": self.contention_cycles,
+        }

@@ -1,0 +1,565 @@
+"""The Fg-STP machine: two cores collaborating on one thread.
+
+This module glues every Fg-STP mechanism together:
+
+* a **global front end** (one branch predictor + core 0's L1I, fetching
+  at the two cores' combined width) fills the partition unit's batch
+  buffer, bounded by the lookahead *window*;
+* the **partition unit** (:class:`repro.fgstp.partitioner.Partitioner`)
+  assigns each fetched instruction to core 0 / core 1, replicating cheap
+  instructions needed on both;
+* **value queues** (:class:`repro.fgstp.comm.InterCoreQueue`) carry
+  cross-core register values, with latency and bandwidth;
+* **memory-dependence speculation** lets loads issue before cross-core
+  stores they (probably) do not depend on; violations squash both cores
+  from the offending load and train the predictor
+  (:class:`repro.fgstp.specdep.DependencePredictor`);
+* a **global in-order commit gate** retires the single thread's
+  instructions in sequence-number order across both cores (replicated
+  pairs retire as one architectural instruction).
+
+Modelling notes (documented simplifications, consistent with the
+paper-family methodology):
+
+* Committed values are architecturally visible on both cores (the merged
+  commit stage broadcasts state); only in-flight values use the queues.
+* A speculated load whose conflicting store completes *before* the load
+  issues pays the queue latency as a forwarding delay instead of
+  squashing.
+* Cross-core WAR/WAW memory orderings never stall: stores write the
+  cache at commit, which the global gate already serialises.
+* Instruction fetch is charged to core 0's L1I (the cores collaborate on
+  fetch; modelling both L1Is adds capacity the fused baseline also gets
+  via its doubled L1I, so the comparison stays fair).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.program import INSTRUCTION_BYTES
+from ..stats.result import SimResult
+from ..trace.record import TraceRecord
+from ..uarch.branch.btb import FrontEndPredictor
+from ..uarch.cache.hierarchy import CacheHierarchy, make_shared_l2
+from ..uarch.params import CoreParams
+from ..uarch.pipeline.core import CycleCore
+from ..uarch.pipeline.uop import (
+    COMMITTED,
+    COMPLETED,
+    DISPATCHED,
+    FETCHED,
+    ISSUED,
+    SQUASHED,
+    Uop,
+    ValueTag,
+)
+from ..uarch.warmup import split_warmup, warm_state
+from .comm import InterCoreQueue
+from .params import FgStpParams
+from .partitioner import Assignment, Partitioner
+from .specdep import DependencePredictor
+
+
+class FgStpMachine:
+    """Two *base* cores reconfigured for Fg-STP execution.
+
+    Args:
+        base: Configuration of each constituent core (identical to the
+            single-core baseline and to each half of Core Fusion).
+        fgstp: Mechanism parameters (window, queues, speculation, ...).
+        max_cycles: Safety valve against model deadlocks.
+    """
+
+    def __init__(self, base: CoreParams,
+                 fgstp: Optional[FgStpParams] = None,
+                 max_cycles: int = 200_000_000,
+                 policy: Optional[str] = None):
+        self.base = base
+        self.fgstp = fgstp or FgStpParams()
+        self.max_cycles = max_cycles
+        self.policy_name = policy or "chain"
+
+        shared_l2 = make_shared_l2(base)
+        self.hierarchies = (CacheHierarchy(base, shared_l2),
+                            CacheHierarchy(base, shared_l2))
+        self.cores = (
+            CycleCore(base, self.hierarchies[0], name="fgstp-core0",
+                      on_complete=self._on_complete,
+                      on_commit=self._on_commit),
+            CycleCore(base, self.hierarchies[1], name="fgstp-core1",
+                      on_complete=self._on_complete,
+                      on_commit=self._on_commit),
+        )
+        self.predictor = FrontEndPredictor(base.branch)
+        self.partitioner = Partitioner(self.fgstp)
+        if self.policy_name != "chain":
+            from .policies import policy_by_name, set_policy
+            set_policy(self.partitioner, policy_by_name(self.policy_name))
+        self.dep_predictor = DependencePredictor()
+        self.queues = (
+            InterCoreQueue(self.fgstp.queue_latency,
+                           self.fgstp.queue_bandwidth, name="q0to1"),
+            InterCoreQueue(self.fgstp.queue_latency,
+                           self.fgstp.queue_bandwidth, name="q1to0"),
+        )
+
+        # Dynamic state (reset per run).
+        self._trace: Sequence[TraceRecord] = ()
+        self._fetch_cursor = 0
+        self._global_next = 0
+        self._next_uid = 0
+        self._batch: List[TraceRecord] = []
+        self._feed: Tuple[deque, deque] = (deque(), deque())
+        self._live: Dict[int, List[Uop]] = {}
+        self._copies: Dict[int, int] = {}
+        self._comm_tags: Dict[Tuple[int, int], ValueTag] = {}
+        self._send_map: Dict[int, List[ValueTag]] = {}
+        self._watch: Dict[int, List[Uop]] = {}
+        self._last_store: List[Optional[Uop]] = [None, None]
+        self._stall_seq: Optional[int] = None
+        self._fetch_resume_at = 0
+        self._icache_line = -1
+        self._icache_ready = 0
+        self._pending_violations: List[Uop] = []
+        self._violation_store_pc: Dict[int, int] = {}
+        self._now = 0
+        self._last_retire_prune = 0
+        # Counters.
+        self.squashes = 0
+        self.squashed_uops = 0
+        self.mispredict_stall_cycles = 0
+        self.window_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
+            warmup: int = 0) -> SimResult:
+        """Simulate *trace* on the Fg-STP pair.
+
+        Args:
+            trace: Dynamic instruction stream (dense ``seq`` from 0).
+            workload: Name recorded in the result.
+            warmup: Leading instructions used to functionally warm caches
+                and the branch predictor (untimed).
+
+        Raises:
+            RuntimeError: on exceeding ``max_cycles`` (model bug guard).
+        """
+        if not trace:
+            return SimResult("fgstp", self.base.name, workload, 0, 0)
+        if warmup:
+            prefix, trace = split_warmup(trace, warmup)
+            warm_state(prefix, self.hierarchies[0], self.predictor,
+                       line_bytes=self.base.l1i.line_bytes)
+            warm_state(prefix, self.hierarchies[1], None,
+                       line_bytes=self.base.l1i.line_bytes)
+        self._trace = trace
+        total = len(trace)
+        cycle = 0
+        while self._global_next < total:
+            if cycle > self.max_cycles:
+                raise RuntimeError(
+                    f"fgstp: exceeded {self.max_cycles} cycles with "
+                    f"{self._global_next}/{total} committed "
+                    f"(heads: {self.cores[0].rob_head!r}, "
+                    f"{self.cores[1].rob_head!r})")
+            self._cycle(cycle)
+            cycle += 1
+        for core in self.cores:
+            core.drain_check()
+        return self._result(workload, cycle, total)
+
+    def _cycle(self, now: int) -> None:
+        self._now = now
+        # 1. Queue deliveries wake consumers on the destination core.
+        for queue in self.queues:
+            for uop in queue.deliver(now):
+                self.cores[uop.core_id].wake(uop)
+        # 2. Global in-order commit (multi-pass so replicas and the
+        #    cross-core retirement order resolve within one cycle).
+        remaining = [self.base.commit_width, self.base.commit_width]
+        progress = True
+        while progress and (remaining[0] > 0 or remaining[1] > 0):
+            progress = False
+            for index, core in enumerate(self.cores):
+                if remaining[index] <= 0:
+                    continue
+                committed = core.phase_commit(now, self._commit_gate,
+                                              budget=remaining[index])
+                if committed:
+                    remaining[index] -= len(committed)
+                    progress = True
+        # 3. Execution completion (fires sends and violation watches).
+        for core in self.cores:
+            core.phase_complete(now)
+        self._process_violations(now)
+        # 4. Issue.
+        for core in self.cores:
+            core.phase_issue(now)
+        # 5. Dispatch.
+        for core in self.cores:
+            core.phase_dispatch(now)
+        # 6. Feed partitioned uops into the cores' fetch buffers.
+        self._feed_cores(now)
+        # 7. Global fetch + partition.
+        self._global_fetch(now)
+        self._maybe_prune()
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit_gate(self, uop: Uop) -> bool:
+        return uop.seq == self._global_next
+
+    def _on_commit(self, uop: Uop, cycle: int) -> None:
+        seq = uop.seq
+        count = self._copies.get(seq, 1) - 1
+        if count <= 0:
+            self._copies.pop(seq, None)
+            self._live.pop(seq, None)
+            self._global_next = seq + 1
+        else:
+            self._copies[seq] = count
+
+    # ------------------------------------------------------------------
+    # Completion callbacks: communication sends, violations, stalls
+    # ------------------------------------------------------------------
+
+    def _on_complete(self, uop: Uop, cycle: int) -> None:
+        if self._stall_seq is not None and uop.seq == self._stall_seq:
+            self._stall_seq = None
+            self._fetch_resume_at = max(
+                self._fetch_resume_at,
+                cycle + self.base.mispredict_penalty)
+        tags = self._send_map.pop(uop.uid, None)
+        if tags:
+            queue = self.queues[uop.core_id]
+            for tag in tags:
+                if tag.ready_cycle is None:
+                    queue.send(tag, cycle)
+        if uop.record.is_store:
+            watchers = self._watch.pop(uop.uid, None)
+            if watchers:
+                self._check_watchers(uop, watchers, cycle)
+
+    def _check_watchers(self, store: Uop, watchers: List[Uop],
+                        cycle: int) -> None:
+        forward_at = cycle + self.fgstp.queue_latency
+        for load in watchers:
+            state = load.state
+            if state == SQUASHED:
+                continue
+            if state in (ISSUED, COMPLETED):
+                # The load consumed stale data: dependence violation.
+                self._pending_violations.append(load)
+                self._violation_store_pc[load.uid] = store.record.pc
+            elif state == DISPATCHED:
+                # Not issued yet: charge cross-core forwarding delay.
+                self.cores[load.core_id].delay_uop(load, forward_at)
+            elif state == FETCHED:
+                tag = ValueTag(label=f"fwd@{store.seq}")
+                tag.ready_cycle = forward_at
+                load.extra_deps.append(tag)
+            elif state == COMMITTED:  # pragma: no cover - gate forbids it
+                raise RuntimeError(
+                    f"load {load!r} committed before its producer store "
+                    f"{store!r} completed")
+
+    # ------------------------------------------------------------------
+    # Violation handling (squash + recovery)
+    # ------------------------------------------------------------------
+
+    def _process_violations(self, now: int) -> None:
+        if not self._pending_violations:
+            return
+        victim = min(self._pending_violations, key=lambda u: u.seq)
+        self._pending_violations.clear()
+        if victim.state in (SQUASHED, COMMITTED):
+            return
+        squash_seq = victim.seq
+        self.dep_predictor.train_violation(victim.record.pc)
+        store_pc = self._violation_store_pc.pop(victim.uid, None)
+        if store_pc is not None:
+            # Teach the partitioner to co-locate this pair in future
+            # (violations train with extra weight).
+            self.partitioner.learn_pair(victim.record.pc, store_pc,
+                                        weight=4)
+        self.squashes += 1
+        for core in self.cores:
+            self.squashed_uops += core.squash_from(squash_seq)
+        self.partitioner.rewind(squash_seq)
+        for feed in self._feed:
+            while feed and feed[-1][1].seq >= squash_seq:
+                feed.pop()
+        self._batch = [r for r in self._batch if r.seq < squash_seq]
+        self._fetch_cursor = squash_seq
+        for seq in [s for s in self._live if s >= squash_seq]:
+            del self._live[seq]
+            self._copies.pop(seq, None)
+        for key in [k for k in self._comm_tags if k[0] >= squash_seq]:
+            del self._comm_tags[key]
+        if self._stall_seq is not None and self._stall_seq >= squash_seq:
+            self._stall_seq = None
+        self._fetch_resume_at = max(self._fetch_resume_at,
+                                    now + self.fgstp.recovery_penalty)
+        self._icache_line = -1
+        for queue in self.queues:
+            queue.drop_squashed()
+
+    # ------------------------------------------------------------------
+    # Feeding partitioned uops into the cores
+    # ------------------------------------------------------------------
+
+    def _feed_cores(self, now: int) -> None:
+        for index, core in enumerate(self.cores):
+            feed = self._feed[index]
+            budget = self.base.fetch_width
+            while feed and budget > 0 and core.fetch_space() > 0:
+                available_at, uop = feed[0]
+                if available_at > now:
+                    break
+                feed.popleft()
+                core.push_fetched(uop, now)
+                budget -= 1
+
+    # ------------------------------------------------------------------
+    # Global fetch + partitioning
+    # ------------------------------------------------------------------
+
+    def _global_fetch(self, now: int) -> None:
+        trace = self._trace
+        cursor = self._fetch_cursor
+        if cursor >= len(trace):
+            if self._batch:
+                self._partition_batch(now)
+            return
+        if self._stall_seq is not None:
+            self.mispredict_stall_cycles += 1
+            return
+        if now < self._fetch_resume_at or now < self._icache_ready:
+            return
+        if cursor - self._global_next >= self.fgstp.window_size:
+            self.window_stall_cycles += 1
+            return
+
+        width = 2 * self.base.fetch_width
+        taken_budget = 2
+        line_bytes = self.base.l1i.line_bytes
+        fetched = 0
+        while fetched < width and cursor < len(trace):
+            if cursor - self._global_next >= self.fgstp.window_size:
+                break
+            record = trace[cursor]
+            line = (record.pc * INSTRUCTION_BYTES) // line_bytes
+            if line != self._icache_line:
+                latency = self.hierarchies[0].fetch(
+                    record.pc * INSTRUCTION_BYTES)
+                self._icache_line = line
+                if latency > self.base.l1i.hit_latency:
+                    self._icache_ready = now + latency
+                    break
+            self._batch.append(record)
+            cursor += 1
+            fetched += 1
+            if record.is_control:
+                correct = self.predictor.predict(record)
+                self.predictor.update(record)
+                if not correct:
+                    self._stall_seq = record.seq
+                    break
+                if record.taken:
+                    self._icache_line = -1
+                    taken_budget -= 1
+                    if taken_budget == 0:
+                        break
+        self._fetch_cursor = cursor
+
+        if (len(self._batch) >= self.fgstp.batch_size
+                or self._stall_seq is not None
+                or cursor >= len(trace)
+                or self._cores_starving()):
+            self._partition_batch(now)
+
+    def _cores_starving(self) -> bool:
+        """True when both feed queues are empty (partition-unit bubble).
+
+        The partition unit processes whatever its buffer holds each cycle
+        — ``batch_size`` is a maximum, not a minimum — so when the cores
+        have nothing left to dispatch (e.g. right after a misprediction
+        redirect) a partial batch flows immediately instead of waiting to
+        fill.
+        """
+        return not self._feed[0] and not self._feed[1]
+
+    def _partition_batch(self, now: int) -> None:
+        batch = self._batch
+        if not batch:
+            return
+        self._batch = []
+        assignments = self.partitioner.partition(
+            batch, committed_seq=self._global_next)
+        available_at = now + self.fgstp.partition_latency
+        for record, assignment in zip(batch, assignments):
+            uops = self._make_uops(record, assignment)
+            self._wire_dependences(record, assignment, uops, now)
+            for uop in uops:
+                self._feed[uop.core_id].append((available_at, uop))
+
+    def _make_uops(self, record: TraceRecord,
+                   assignment: Assignment) -> List[Uop]:
+        uops = []
+        replicated = assignment.replicated
+        for core in assignment.cores:
+            uop = Uop(record, self._next_uid, replica=replicated,
+                      core_id=core)
+            self._next_uid += 1
+            uops.append(uop)
+        self._live[record.seq] = uops
+        self._copies[record.seq] = len(uops)
+        return uops
+
+    def _wire_dependences(self, record: TraceRecord,
+                          assignment: Assignment, uops: List[Uop],
+                          now: int) -> None:
+        # Register values crossing the fabric.
+        for producer_seq, dest_core in assignment.comm_srcs:
+            tag = self._get_comm_tag(producer_seq, dest_core, now)
+            if tag is not None:
+                for uop in uops:
+                    if uop.core_id == dest_core:
+                        uop.extra_deps.append(tag)
+        if record.is_store:
+            self._last_store[uops[0].core_id] = uops[0]
+        if not record.is_load:
+            return
+        if not self.fgstp.speculation:
+            # Without dependence speculation a load cannot issue until the
+            # other core's most recent older store has executed — the
+            # hardware has no way to know their addresses differ.  This
+            # conservative ordering is exactly what speculation removes.
+            self._wire_conservative_load(uops[0], now)
+        elif assignment.mem_dep is not None:
+            # Cross-core memory dependence of a load.
+            self._wire_mem_dep(record, assignment, uops[0], now)
+
+    def _get_comm_tag(self, producer_seq: int, dest_core: int,
+                      now: int) -> Optional[ValueTag]:
+        key = (producer_seq, dest_core)
+        tag = self._comm_tags.get(key)
+        if tag is not None:
+            return tag
+        producers = self._live.get(producer_seq)
+        if not producers:
+            return None  # producer already committed: globally visible
+        producer = producers[0]
+        if producer.state == COMMITTED:
+            return None
+        tag = ValueTag(label=f"r@{producer_seq}->c{dest_core}")
+        self._comm_tags[key] = tag
+        if producer.state in (ISSUED, COMPLETED) \
+                and producer.complete_cycle is not None \
+                and producer.complete_cycle <= now:
+            # Value already produced: send it now.
+            self.queues[producer.core_id].send(tag, now)
+        else:
+            self._send_map.setdefault(producer.uid, []).append(tag)
+        return tag
+
+    def _wire_conservative_load(self, load_uop: Uop, now: int) -> None:
+        store = self._last_store[1 - load_uop.core_id]
+        if store is None or store.state in (COMMITTED, SQUASHED):
+            return
+        if store.complete_cycle is not None and store.complete_cycle <= now:
+            return
+        tag = ValueTag(label=f"cons@{store.seq}")
+        self._send_map.setdefault(store.uid, []).append(tag)
+        load_uop.extra_deps.append(tag)
+
+    def _wire_mem_dep(self, record: TraceRecord, assignment: Assignment,
+                      load_uop: Uop, now: int) -> None:
+        store_seq, store_pc = assignment.mem_dep
+        # The hardware observes this dependence when the pair executes;
+        # training the partitioner's pair table here models that
+        # commit-time learning (it only affects *future* instances).
+        self.partitioner.learn_pair(record.pc, store_pc)
+        stores = self._live.get(store_seq)
+        if not stores:
+            return  # store committed: data is in the cache hierarchy
+        store = stores[0]
+        if store.state == COMMITTED:
+            return
+        if self.fgstp.speculation \
+                and not self.dep_predictor.predicts_sync(record.pc):
+            self._watch.setdefault(store.uid, []).append(load_uop)
+            return
+        # Synchronise: the load waits for the store's data to cross.
+        if store.complete_cycle is not None \
+                and store.complete_cycle <= now:
+            self.dep_predictor.train_unnecessary_sync(record.pc)
+            tag = ValueTag(label=f"m@{store_seq}")
+            self.queues[store.core_id].send(tag, now)
+        else:
+            tag = ValueTag(label=f"m@{store_seq}")
+            self._send_map.setdefault(store.uid, []).append(tag)
+        load_uop.extra_deps.append(tag)
+
+    # ------------------------------------------------------------------
+    # Housekeeping & results
+    # ------------------------------------------------------------------
+
+    def _maybe_prune(self) -> None:
+        if self._global_next - self._last_retire_prune >= 1024:
+            self.partitioner.retire(self._global_next)
+            self._last_retire_prune = self._global_next
+
+    def _result(self, workload: str, cycles: int, total: int) -> SimResult:
+        caches = {
+            "core0": self.hierarchies[0].stats(),
+            "core1": self.hierarchies[1].stats(),
+        }
+        return SimResult(
+            machine="fgstp",
+            config=self.base.name,
+            workload=workload,
+            cycles=cycles,
+            instructions=total,
+            extra={
+                "partition": self.partitioner.stats.as_dict(),
+                "dep_predictor": self.dep_predictor.stats(),
+                "queues": {q.name: q.stats() for q in self.queues},
+                "squashes": self.squashes,
+                "squashed_uops": self.squashed_uops,
+                "branch": {
+                    "lookups": self.predictor.lookups,
+                    "mispredictions": self.predictor.mispredictions,
+                    "misprediction_rate": self.predictor.misprediction_rate,
+                },
+                "caches": caches,
+                "cores": [core.stats.as_dict() for core in self.cores],
+                "stalls": {
+                    "mispredict_cycles": self.mispredict_stall_cycles,
+                    "window_cycles": self.window_stall_cycles,
+                },
+                "fgstp_params": {
+                    "window_size": self.fgstp.window_size,
+                    "batch_size": self.fgstp.batch_size,
+                    "queue_latency": self.fgstp.queue_latency,
+                    "queue_bandwidth": self.fgstp.queue_bandwidth,
+                    "speculation": self.fgstp.speculation,
+                    "replication": self.fgstp.replication,
+                },
+            },
+        )
+
+
+def simulate_fgstp(trace: Sequence[TraceRecord], base: CoreParams,
+                   fgstp: Optional[FgStpParams] = None,
+                   workload: str = "trace", warmup: int = 0) -> SimResult:
+    """Convenience wrapper: build a fresh Fg-STP machine and run *trace*."""
+    return FgStpMachine(base, fgstp).run(trace, workload=workload,
+                                         warmup=warmup)

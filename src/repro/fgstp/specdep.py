@@ -1,0 +1,67 @@
+"""Cross-core memory-dependence speculation predictor.
+
+Fg-STP speculates that a load assigned to one core does not depend on
+in-flight stores assigned to the other core.  When that turns out wrong,
+the machine squashes and the predictor learns: subsequent instances of
+the offending load PC are *synchronised* — they wait for the conflicting
+store's data to arrive over the value queue instead of speculating.
+
+The predictor is a store-set-flavoured PC-indexed table with saturating
+confidence so a load that stops conflicting eventually speculates again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class DependencePredictor:
+    """PC-indexed predictor of cross-core memory dependences.
+
+    Args:
+        max_confidence: Saturation value of the per-PC counter.  A
+            violation sets the counter to the maximum; each synchronised
+            execution that would *not* actually have conflicted decays it
+            by one, so stale sync sets expire.
+    """
+
+    def __init__(self, max_confidence: int = 8):
+        if max_confidence < 1:
+            raise ValueError(
+                f"max_confidence must be >= 1: {max_confidence}")
+        self.max_confidence = max_confidence
+        self._confidence: Dict[int, int] = {}
+        self.violations = 0
+        self.sync_predictions = 0
+        self.speculations = 0
+
+    def predicts_sync(self, load_pc: int) -> bool:
+        """Should the load at *load_pc* synchronise instead of speculate?"""
+        sync = self._confidence.get(load_pc, 0) > 0
+        if sync:
+            self.sync_predictions += 1
+        else:
+            self.speculations += 1
+        return sync
+
+    def train_violation(self, load_pc: int) -> None:
+        """A speculated load at *load_pc* violated; saturate confidence."""
+        self.violations += 1
+        self._confidence[load_pc] = self.max_confidence
+
+    def train_unnecessary_sync(self, load_pc: int) -> None:
+        """A synchronised load would not actually have conflicted; decay."""
+        confidence = self._confidence.get(load_pc, 0)
+        if confidence > 0:
+            if confidence == 1:
+                del self._confidence[load_pc]
+            else:
+                self._confidence[load_pc] = confidence - 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "violations": self.violations,
+            "sync_predictions": self.sync_predictions,
+            "speculations": self.speculations,
+            "tracked_pcs": len(self._confidence),
+        }

@@ -1,0 +1,46 @@
+"""Experiment configuration shared by the harness, tests and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sizing knobs for one experiment run.
+
+    Attributes:
+        trace_length: Dynamic instructions generated per benchmark
+            (including the warm-up prefix).
+        warmup: Leading instructions used only to warm caches/predictors.
+        seed: Workload-generator seed.
+        benchmarks: Benchmark names to run; empty means the whole suite.
+    """
+
+    trace_length: int = 30000
+    warmup: int = 10000
+    seed: int = 1
+    benchmarks: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.trace_length <= 0:
+            raise ValueError(f"trace_length must be positive: "
+                             f"{self.trace_length}")
+        if not 0 <= self.warmup < self.trace_length:
+            raise ValueError(
+                f"warmup {self.warmup} must be in [0, trace_length)")
+
+    def with_(self, **changes) -> "ExperimentConfig":
+        return replace(self, **changes)
+
+
+#: Full-size runs used by the benchmark harness (paper-style tables).
+FULL = ExperimentConfig(trace_length=30000, warmup=10000)
+
+#: Small runs used by integration tests.
+QUICK = ExperimentConfig(trace_length=6000, warmup=2000)
+
+#: Representative benchmarks used by the sensitivity sweeps (E4/E5/E9):
+#: one ILP-rich, one streaming, one mispredict-bound, one pointer-heavy.
+REPRESENTATIVE = ["hmmer", "libquantum", "sjeng", "omnetpp"]

@@ -1,0 +1,94 @@
+"""Multi-seed statistical runs: means and confidence intervals.
+
+Synthetic traces are stochastic; a single seed can flatter or punish a
+machine on a particular benchmark.  This module repeats a measurement
+over several workload seeds and reports the mean speedup with a normal-
+approximation confidence interval — the sanity check behind every
+headline number in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..fgstp.params import FgStpParams
+from ..uarch.params import CoreParams
+from ..workloads.suite import TraceCache
+from .config import ExperimentConfig
+from .runners import run_machine
+
+#: Two-sided z value for 95% confidence.
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class SeedStudy:
+    """Speedup of one machine over another across workload seeds.
+
+    Attributes:
+        benchmark: Workload name.
+        machine / baseline: Machine labels compared.
+        speedups: Per-seed speedups (baseline cycles / machine cycles).
+    """
+
+    benchmark: str
+    machine: str
+    baseline: str
+    speedups: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.speedups) / len(self.speedups)
+
+    @property
+    def stddev(self) -> float:
+        if len(self.speedups) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((value - mean) ** 2 for value in self.speedups) \
+            / (len(self.speedups) - 1)
+        return math.sqrt(variance)
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the 95% confidence interval of the mean."""
+        if len(self.speedups) < 2:
+            return 0.0
+        return _Z95 * self.stddev / math.sqrt(len(self.speedups))
+
+    def significantly_above(self, threshold: float) -> bool:
+        """Is the mean above *threshold* beyond the 95% interval?"""
+        return self.mean - self.ci95 > threshold
+
+    def __str__(self) -> str:
+        return (f"{self.benchmark}: {self.machine}/{self.baseline} "
+                f"= {self.mean:.3f} ± {self.ci95:.3f} "
+                f"(n={len(self.speedups)})")
+
+
+def seed_study(benchmark: str, machine: str, base: CoreParams,
+               config: ExperimentConfig,
+               seeds: Sequence[int] = (1, 2, 3, 4, 5),
+               baseline: str = "single",
+               fgstp: Optional[FgStpParams] = None,
+               cache: Optional[TraceCache] = None) -> SeedStudy:
+    """Measure *machine*'s speedup over *baseline* across *seeds*.
+
+    Each seed generates an independent trace of the configured length;
+    both machines run the identical trace per seed.
+    """
+    if not seeds:
+        raise ValueError("seed_study needs at least one seed")
+    cache = cache or TraceCache()
+    speedups = []
+    for seed in seeds:
+        seeded = config.with_(seed=seed)
+        reference = run_machine(baseline, benchmark, base, seeded,
+                                cache=cache)
+        candidate = run_machine(machine, benchmark, base, seeded,
+                                fgstp=fgstp, cache=cache)
+        speedups.append(reference.cycles / candidate.cycles)
+    return SeedStudy(benchmark=benchmark, machine=machine,
+                     baseline=baseline, speedups=speedups)

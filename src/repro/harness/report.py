@@ -1,0 +1,45 @@
+"""Markdown report generation for experiment results.
+
+Used to (re)generate the measured sections of EXPERIMENTS.md: every
+experiment report renders to a fenced plain-text table plus its headline
+metrics, under a stable heading per experiment id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .config import ExperimentConfig
+from .experiments import REGISTRY, ExperimentReport, run_experiment
+
+
+def report_to_markdown(report: ExperimentReport) -> str:
+    """One experiment's markdown section."""
+    lines: List[str] = [f"### {report.experiment_id} — {report.title}", ""]
+    lines.append("```text")
+    lines.append(report.render())
+    lines.append("```")
+    if report.notes:
+        lines.append("")
+        lines.append(f"*{report.notes}*")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def run_and_render(experiment_ids: Optional[Iterable[str]] = None,
+                   config: Optional[ExperimentConfig] = None) -> str:
+    """Run experiments and return the combined markdown.
+
+    Args:
+        experiment_ids: Ids to run (defaults to the whole registry in
+            numeric order).
+        config: Sizing for every run.
+    """
+    if experiment_ids is None:
+        experiment_ids = sorted(REGISTRY, key=lambda e: int(e[1:]))
+    config = config or ExperimentConfig()
+    sections = [report_to_markdown(run_experiment(experiment_id, config))
+                for experiment_id in experiment_ids]
+    header = (f"_Generated with trace_length={config.trace_length}, "
+              f"warmup={config.warmup}, seed={config.seed}._\n")
+    return header + "\n" + "\n".join(sections)

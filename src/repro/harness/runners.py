@@ -1,0 +1,82 @@
+"""Machine runners: one uniform entry point per machine model.
+
+Every experiment goes through :func:`run_machine` so machines are built
+fresh per run (no state leaks between measurements) and traces come from
+the shared cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..corefusion.machine import CoreFusionMachine
+from ..fgstp.adaptive import AdaptiveFgStpMachine
+from ..fgstp.orchestrator import FgStpMachine
+from ..fgstp.params import FgStpParams
+from ..stats.result import SimResult
+from ..uarch.params import CoreParams, core_config
+from ..uarch.pipeline.machine import SingleCoreMachine
+from ..workloads.suite import DEFAULT_CACHE, TraceCache, suite_names
+from .config import ExperimentConfig
+
+#: Machines the harness knows how to build.
+MACHINES = ("single", "corefusion", "fgstp", "fgstp-adaptive")
+
+
+def build_machine(machine: str, base: CoreParams,
+                  fgstp: Optional[FgStpParams] = None,
+                  **overrides):
+    """Construct a fresh machine model.
+
+    Args:
+        machine: One of :data:`MACHINES`.
+        base: Per-core configuration.
+        fgstp: Fg-STP parameters (fgstp machines only).
+        **overrides: Machine-specific constructor arguments (e.g. Core
+            Fusion overhead knobs).
+
+    Raises:
+        ValueError: on an unknown machine name.
+    """
+    if machine == "single":
+        return SingleCoreMachine(base, **overrides)
+    if machine == "corefusion":
+        return CoreFusionMachine(base, **overrides)
+    if machine == "fgstp":
+        return FgStpMachine(base, fgstp, **overrides)
+    if machine == "fgstp-adaptive":
+        return AdaptiveFgStpMachine(base, fgstp, **overrides)
+    raise ValueError(f"unknown machine {machine!r}; known: {MACHINES}")
+
+
+def run_machine(machine: str, benchmark: str, base: CoreParams,
+                config: ExperimentConfig,
+                fgstp: Optional[FgStpParams] = None,
+                cache: TraceCache = DEFAULT_CACHE,
+                **overrides) -> SimResult:
+    """Run *benchmark* on *machine* and return the result."""
+    trace = cache.get(benchmark, config.trace_length, config.seed)
+    model = build_machine(machine, base, fgstp, **overrides)
+    return model.run(trace, workload=benchmark, warmup=config.warmup)
+
+
+def run_suite(machine: str, base: CoreParams, config: ExperimentConfig,
+              fgstp: Optional[FgStpParams] = None,
+              cache: TraceCache = DEFAULT_CACHE,
+              **overrides) -> Dict[str, SimResult]:
+    """Run every configured benchmark on *machine*.
+
+    Returns:
+        Benchmark name -> :class:`SimResult`, in suite order.
+    """
+    names: Iterable[str] = config.benchmarks or suite_names("all")
+    return {
+        name: run_machine(machine, name, base, config, fgstp,
+                          cache=cache, **overrides)
+        for name in names
+    }
+
+
+def config_for(name: str) -> CoreParams:
+    """Named reference core configuration (``small`` / ``medium``)."""
+    return core_config(name)

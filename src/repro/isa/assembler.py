@@ -1,0 +1,212 @@
+"""A tiny two-pass assembler for the repro ISA.
+
+Source format
+-------------
+* One instruction per line; ``#`` starts a comment.
+* Labels are ``name:`` on their own line or prefixing an instruction.
+* Operands follow the opcode's :class:`repro.isa.opcodes.OperandShape`:
+
+  .. code-block:: text
+
+      loop:
+          ld   r2, 0(r1)        # load
+          addi r1, r1, 8
+          add  r3, r3, r2
+          bne  r1, r4, loop     # branch to label
+          st   r3, 16(sp)
+          halt
+
+* Directives: ``.data <bytes>`` sets the data-segment size,
+  ``.word <offset> <value>`` initialises one 64-bit data word,
+  ``.name <text>`` names the program.
+
+The assembler is deliberately strict: unknown mnemonics, malformed
+operands and undefined labels all raise :class:`AssemblerError` with the
+offending line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .errors import AssemblerError, ProgramError
+from .instruction import Instruction
+from .opcodes import OPCODES, OperandShape
+from .program import Program
+from .registers import LINK_REG, parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+_MEM_RE = re.compile(r"^(-?[0-9]+)\(([A-Za-z0-9_]+)\)$")
+
+
+def _parse_imm(token: str, line_no: int, line: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad immediate {token!r}", line_no, line) from None
+
+
+def _parse_reg(token: str, line_no: int, line: str) -> int:
+    try:
+        return parse_register(token)
+    except ProgramError as exc:
+        raise AssemblerError(str(exc), line_no, line) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+class Assembler:
+    """Two-pass assembler producing resolved, validated :class:`Program`\\ s."""
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble *source* text into a validated program.
+
+        Args:
+            source: Assembly text (see module docstring for the format).
+            name: Fallback program name when no ``.name`` directive exists.
+
+        Returns:
+            A label-resolved, validated :class:`Program`.
+
+        Raises:
+            AssemblerError: on any malformed line.
+        """
+        program = Program(name=name, data_size=1 << 20)
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            line = self._consume_labels(program, line, line_no, raw)
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(program, line, line_no, raw)
+                continue
+            program.instructions.append(self._instruction(line, line_no, raw))
+        try:
+            program.resolve_labels()
+            program.validate()
+        except ProgramError as exc:
+            raise AssemblerError(str(exc)) from exc
+        return program
+
+    def _consume_labels(self, program: Program, line: str,
+                        line_no: int, raw: str) -> str:
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                return line
+            label = match.group(1)
+            if label in program.labels:
+                raise AssemblerError(f"duplicate label {label!r}", line_no, raw)
+            program.labels[label] = len(program.instructions)
+            line = line[match.end():].strip()
+
+    def _directive(self, program: Program, line: str,
+                   line_no: int, raw: str) -> None:
+        parts = line.split()
+        directive, args = parts[0], parts[1:]
+        if directive == ".data":
+            if len(args) != 1:
+                raise AssemblerError(".data needs one size operand", line_no, raw)
+            program.data_size = _parse_imm(args[0], line_no, raw)
+        elif directive == ".word":
+            if len(args) != 2:
+                raise AssemblerError(".word needs offset and value", line_no, raw)
+            offset = _parse_imm(args[0], line_no, raw)
+            value = _parse_imm(args[1], line_no, raw)
+            program.data_init[offset] = value
+        elif directive == ".name":
+            if not args:
+                raise AssemblerError(".name needs a name", line_no, raw)
+            program.name = " ".join(args)
+        else:
+            raise AssemblerError(f"unknown directive {directive!r}", line_no, raw)
+
+    def _instruction(self, line: str, line_no: int, raw: str) -> Instruction:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        info = OPCODES.get(mnemonic)
+        if info is None:
+            raise AssemblerError(f"unknown opcode {mnemonic!r}", line_no, raw)
+        operands = _split_operands(rest)
+        dst, srcs, imm, label = self._operands(info, operands, line_no, raw)
+        return Instruction(info, dst, srcs, imm, label)
+
+    def _operands(self, info, operands, line_no, raw
+                  ) -> Tuple[Optional[int], Tuple[int, ...], int, Optional[str]]:
+        shape = info.shape
+
+        def need(count):
+            if len(operands) != count:
+                raise AssemblerError(
+                    f"{info.name} expects {count} operand(s), "
+                    f"got {len(operands)}", line_no, raw)
+
+        if shape is OperandShape.RRR:
+            need(3)
+            return (_parse_reg(operands[0], line_no, raw),
+                    (_parse_reg(operands[1], line_no, raw),
+                     _parse_reg(operands[2], line_no, raw)), 0, None)
+        if shape is OperandShape.RRI:
+            if info.name == "mov":
+                need(2)
+                return (_parse_reg(operands[0], line_no, raw),
+                        (_parse_reg(operands[1], line_no, raw),), 0, None)
+            need(3)
+            return (_parse_reg(operands[0], line_no, raw),
+                    (_parse_reg(operands[1], line_no, raw),),
+                    _parse_imm(operands[2], line_no, raw), None)
+        if shape is OperandShape.RI:
+            need(2)
+            return (_parse_reg(operands[0], line_no, raw), (),
+                    _parse_imm(operands[1], line_no, raw), None)
+        if shape is OperandShape.MEM:
+            need(2)
+            match = _MEM_RE.match(operands[1].replace(" ", ""))
+            if not match:
+                raise AssemblerError(
+                    f"bad memory operand {operands[1]!r}, "
+                    "expected imm(reg)", line_no, raw)
+            disp = int(match.group(1), 0)
+            base = _parse_reg(match.group(2), line_no, raw)
+            value_reg = _parse_reg(operands[0], line_no, raw)
+            if info.store:
+                # Store reads both the value register and the base.
+                return None, (base, value_reg), disp, None
+            return value_reg, (base,), disp, None
+        if shape is OperandShape.BRANCH:
+            need(3)
+            return (None,
+                    (_parse_reg(operands[0], line_no, raw),
+                     _parse_reg(operands[1], line_no, raw)),
+                    0, operands[2])
+        if shape is OperandShape.JUMP:
+            need(1)
+            return None, (), 0, operands[0]
+        if shape is OperandShape.JR:
+            need(1)
+            return None, (_parse_reg(operands[0], line_no, raw),), 0, None
+        if shape is OperandShape.CALL:
+            need(1)
+            return LINK_REG, (), 0, operands[0]
+        if shape is OperandShape.RET:
+            need(0)
+            return None, (LINK_REG,), 0, None
+        if shape is OperandShape.NONE:
+            need(0)
+            return None, (), 0, None
+        raise AssemblerError(f"unhandled shape {shape}", line_no, raw)
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Module-level convenience wrapper around :class:`Assembler`."""
+    return Assembler().assemble(source, name=name)

@@ -1,0 +1,35 @@
+"""Exceptions raised by the ISA layer (assembler, program, interpreter)."""
+
+
+class IsaError(Exception):
+    """Base class for every error raised by :mod:`repro.isa`."""
+
+
+class AssemblerError(IsaError):
+    """A source line could not be assembled.
+
+    Carries the offending line number and source text so callers can point
+    the user at the exact location.
+    """
+
+    def __init__(self, message, line_no=None, line_text=None):
+        self.line_no = line_no
+        self.line_text = line_text
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+            if line_text is not None:
+                message = f"{message}  [{line_text.strip()!r}]"
+        super().__init__(message)
+
+
+class ProgramError(IsaError):
+    """A structurally invalid program (bad label, out-of-range target...)."""
+
+
+class ExecutionError(IsaError):
+    """The functional interpreter hit an illegal state.
+
+    Examples: memory access outside the data segment, division by zero,
+    executing past the end of the code segment, exceeding the instruction
+    budget without reaching ``halt``.
+    """

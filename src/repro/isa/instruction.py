@@ -1,0 +1,83 @@
+"""Static (decoded) instruction representation.
+
+An :class:`Instruction` is one *static* instruction in a program's code
+segment.  Dynamic execution produces :class:`repro.trace.TraceRecord`
+objects instead — one per executed instance — which is what all the timing
+models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import OpClass, OpcodeInfo
+from .registers import register_name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded static instruction.
+
+    Attributes:
+        info: Static opcode description.
+        dst: Destination architectural register id, or ``None``.
+        srcs: Source architectural register ids (possibly empty).
+        imm: Immediate value (meaning depends on the operand shape:
+            ALU immediate, load/store displacement, or branch/jump target
+            resolved to a static instruction index).
+        label: Unresolved target label, present only between assembly and
+            label resolution; resolved programs always carry ``imm``.
+    """
+
+    info: OpcodeInfo
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    label: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.info.op_class
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    @property
+    def is_branch(self) -> bool:
+        return self.info.op_class is OpClass.BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        return self.info.op_class is OpClass.JUMP
+
+    @property
+    def is_control(self) -> bool:
+        return self.info.op_class.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.info.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.info.op_class is OpClass.STORE
+
+    @property
+    def is_halt(self) -> bool:
+        return self.info.name == "halt"
+
+    def __str__(self) -> str:
+        parts = [self.name]
+        operands = []
+        if self.dst is not None:
+            operands.append(register_name(self.dst))
+        operands.extend(register_name(s) for s in self.srcs)
+        if self.label is not None:
+            operands.append(self.label)
+        elif self.imm:
+            operands.append(str(self.imm))
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)

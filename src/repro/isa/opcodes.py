@@ -1,0 +1,181 @@
+"""Opcode and operation-class definitions for the repro RISC-like ISA.
+
+The ISA is a small load/store architecture designed to be easy to generate
+programs for (see :mod:`repro.isa.assembler`) while exposing exactly the
+properties the micro-architectural models care about: operation class
+(which selects a functional unit and latency), register reads/writes,
+memory behaviour and control flow.
+
+Design notes
+------------
+* 32 integer registers ``r0``..``r31`` (``r0`` is hardwired to zero) and
+  32 floating-point registers ``f0``..``f31``.
+* Every opcode belongs to exactly one :class:`OpClass`.  Timing models key
+  their functional-unit selection and latency tables off the class, never
+  off the individual opcode.
+* The opcode table is the single source of truth for operand shapes; the
+  assembler and the interpreter are both driven by it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.IntEnum):
+    """Coarse operation class used by the timing models.
+
+    The numeric values are stable so traces can be serialised compactly.
+    """
+
+    IALU = 0     #: integer add/sub/logic/shift/compare
+    IMUL = 1     #: integer multiply
+    IDIV = 2     #: integer divide / remainder
+    FADD = 3     #: floating-point add/sub/compare/convert
+    FMUL = 4     #: floating-point multiply
+    FDIV = 5     #: floating-point divide / sqrt
+    LOAD = 6     #: memory read
+    STORE = 7    #: memory write
+    BRANCH = 8   #: conditional branch
+    JUMP = 9     #: unconditional jump / call / return
+    NOP = 10     #: no-op (also ``halt``)
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        """True for conditional branches and unconditional jumps."""
+        return self in (OpClass.BRANCH, OpClass.JUMP)
+
+
+class OperandShape(enum.Enum):
+    """How an opcode's textual operands map onto instruction fields.
+
+    The shape both drives assembly parsing and documents the semantics:
+
+    * ``RRR``   — ``op rd, rs1, rs2``
+    * ``RRI``   — ``op rd, rs1, imm``
+    * ``RI``    — ``op rd, imm``
+    * ``MEM``   — ``op rd, imm(rs1)`` (load) / ``op rs2, imm(rs1)`` (store)
+    * ``BRANCH``— ``op rs1, rs2, label``
+    * ``JUMP``  — ``op label``
+    * ``JR``    — ``op rs1`` (indirect jump)
+    * ``CALL``  — ``op label`` (writes link register)
+    * ``RET``   — ``op`` (reads link register)
+    * ``NONE``  — no operands
+    """
+
+    RRR = "rrr"
+    RRI = "rri"
+    RI = "ri"
+    MEM = "mem"
+    BRANCH = "branch"
+    JUMP = "jump"
+    JR = "jr"
+    CALL = "call"
+    RET = "ret"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one opcode.
+
+    Attributes:
+        name: Mnemonic, e.g. ``"add"``.
+        op_class: The :class:`OpClass` timing models dispatch on.
+        shape: Operand shape (see :class:`OperandShape`).
+        fp: True when the register operands live in the FP register file.
+        store: True for memory writes (within ``OpClass.STORE``).
+    """
+
+    name: str
+    op_class: OpClass
+    shape: OperandShape
+    fp: bool = False
+    store: bool = field(default=False)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        return self.op_class is OpClass.JUMP
+
+
+def _build_table() -> dict:
+    table = {}
+
+    def add(name, op_class, shape, fp=False, store=False):
+        if name in table:
+            raise ValueError(f"duplicate opcode {name!r}")
+        table[name] = OpcodeInfo(name, op_class, shape, fp=fp, store=store)
+
+    # Integer ALU.
+    for name in ("add", "sub", "and", "or", "xor", "shl", "shr", "sar",
+                 "slt", "sltu", "min", "max"):
+        add(name, OpClass.IALU, OperandShape.RRR)
+    for name in ("addi", "andi", "ori", "xori", "shli", "shri", "slti"):
+        add(name, OpClass.IALU, OperandShape.RRI)
+    add("li", OpClass.IALU, OperandShape.RI)
+    add("mov", OpClass.IALU, OperandShape.RRI)  # mov rd, rs1 (imm ignored)
+
+    # Integer multiply / divide.
+    add("mul", OpClass.IMUL, OperandShape.RRR)
+    add("mulh", OpClass.IMUL, OperandShape.RRR)
+    add("div", OpClass.IDIV, OperandShape.RRR)
+    add("rem", OpClass.IDIV, OperandShape.RRR)
+
+    # Floating point.
+    for name in ("fadd", "fsub", "fmin", "fmax", "fcvt"):
+        add(name, OpClass.FADD, OperandShape.RRR, fp=True)
+    add("fmul", OpClass.FMUL, OperandShape.RRR, fp=True)
+    add("fmadd", OpClass.FMUL, OperandShape.RRR, fp=True)
+    add("fdiv", OpClass.FDIV, OperandShape.RRR, fp=True)
+    add("fsqrt", OpClass.FDIV, OperandShape.RRR, fp=True)
+    add("fli", OpClass.FADD, OperandShape.RI, fp=True)
+
+    # Memory.
+    add("ld", OpClass.LOAD, OperandShape.MEM)
+    add("ldb", OpClass.LOAD, OperandShape.MEM)
+    add("fld", OpClass.LOAD, OperandShape.MEM, fp=True)
+    add("st", OpClass.STORE, OperandShape.MEM, store=True)
+    add("stb", OpClass.STORE, OperandShape.MEM, store=True)
+    add("fst", OpClass.STORE, OperandShape.MEM, fp=True, store=True)
+
+    # Control flow.
+    for name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        add(name, OpClass.BRANCH, OperandShape.BRANCH)
+    add("jmp", OpClass.JUMP, OperandShape.JUMP)
+    add("jr", OpClass.JUMP, OperandShape.JR)
+    add("call", OpClass.JUMP, OperandShape.CALL)
+    add("ret", OpClass.JUMP, OperandShape.RET)
+
+    # Misc.
+    add("nop", OpClass.NOP, OperandShape.NONE)
+    add("halt", OpClass.NOP, OperandShape.NONE)
+
+    return table
+
+
+#: Mnemonic -> :class:`OpcodeInfo` for every opcode in the ISA.
+OPCODES: dict = _build_table()
+
+
+def opcode_info(name: str) -> OpcodeInfo:
+    """Look up an opcode by mnemonic.
+
+    Raises:
+        KeyError: if the mnemonic does not exist.
+    """
+    return OPCODES[name]
+
+
+def is_opcode(name: str) -> bool:
+    """True when *name* is a known mnemonic."""
+    return name in OPCODES

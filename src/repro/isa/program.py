@@ -1,0 +1,126 @@
+"""Program container: a code segment plus a data segment description.
+
+A :class:`Program` is the unit the assembler produces and the functional
+interpreter executes.  Instruction addresses are instruction indices (the
+ISA has a fixed 4-byte encoding; ``pc = 4 * index`` when a byte PC is
+needed, see :meth:`Program.byte_pc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import ProgramError
+from .instruction import Instruction
+from .opcodes import OperandShape
+
+#: Fixed instruction encoding width in bytes.
+INSTRUCTION_BYTES = 4
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: The code segment, in static order.
+        labels: Label name -> instruction index.
+        data_size: Size in bytes of the zero-initialised data segment.
+        data_init: Sparse initial data values (byte offset -> 64-bit int).
+        name: Optional human-readable name (used in reports).
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    data_size: int = 1 << 20
+    data_init: Dict[int, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    @staticmethod
+    def byte_pc(index: int) -> int:
+        """Byte program counter of the instruction at *index*."""
+        return index * INSTRUCTION_BYTES
+
+    def label_index(self, label: str) -> int:
+        """Instruction index a label points at.
+
+        Raises:
+            ProgramError: if the label is not defined.
+        """
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramError(f"undefined label: {label!r}") from None
+
+    def resolve_labels(self) -> None:
+        """Replace symbolic branch/jump targets with instruction indices.
+
+        Rewrites every instruction carrying a ``label`` so its ``imm``
+        holds the target instruction index.  Idempotent.
+
+        Raises:
+            ProgramError: if any referenced label is undefined.
+        """
+        resolved: List[Instruction] = []
+        for instr in self.instructions:
+            if instr.label is None:
+                resolved.append(instr)
+                continue
+            target = self.label_index(instr.label)
+            resolved.append(
+                Instruction(instr.info, instr.dst, instr.srcs, target, None)
+            )
+        self.instructions = resolved
+
+    def validate(self) -> None:
+        """Check structural invariants of a resolved program.
+
+        * every control-flow target lies inside the code segment,
+        * no instruction still carries an unresolved label,
+        * the program ends with an instruction (non-empty).
+
+        Raises:
+            ProgramError: on any violation.
+        """
+        if not self.instructions:
+            raise ProgramError("empty program")
+        n = len(self.instructions)
+        for index, instr in enumerate(self.instructions):
+            if instr.label is not None:
+                raise ProgramError(
+                    f"instruction {index} has unresolved label {instr.label!r}"
+                )
+            if instr.is_control and instr.info.shape in (
+                OperandShape.BRANCH,
+                OperandShape.JUMP,
+                OperandShape.CALL,
+            ):
+                if not 0 <= instr.imm < n:
+                    raise ProgramError(
+                        f"instruction {index} targets {instr.imm}, "
+                        f"outside code segment of {n} instructions"
+                    )
+
+    def listing(self) -> str:
+        """Human-readable disassembly listing with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for index, instr in enumerate(self.instructions):
+            for label in sorted(by_index.get(index, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {index:5d}  {instr}")
+        return "\n".join(lines)
+
+
+def find_label(program: Program, label: str) -> Optional[int]:
+    """Instruction index of *label*, or ``None`` when undefined."""
+    return program.labels.get(label)

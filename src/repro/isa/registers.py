@@ -1,0 +1,81 @@
+"""Register file naming and numbering for the repro ISA.
+
+Integer registers are ``r0``..``r31`` with ``r0`` hardwired to zero.
+Floating-point registers are ``f0``..``f31``.
+
+Internally both files share one flat architectural register namespace so
+that dependence analysis (renaming, the Fg-STP partitioner) can treat a
+register id as a plain integer:
+
+* integer register ``rN``   -> id ``N``          (0..31)
+* fp register ``fN``        -> id ``32 + N``     (32..63)
+
+A few integer registers have ABI-style aliases used by the assembler and
+the built-in example programs.
+"""
+
+from __future__ import annotations
+
+from .errors import ProgramError
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: The always-zero integer register.
+ZERO_REG = 0
+#: Link register written by ``call`` and read by ``ret``.
+LINK_REG = 31
+#: Conventional stack pointer (alias ``sp``).
+STACK_REG = 30
+
+_ALIASES = {
+    "zero": ZERO_REG,
+    "ra": LINK_REG,
+    "sp": STACK_REG,
+}
+
+
+def int_reg(n: int) -> int:
+    """Architectural id of integer register ``rN``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ProgramError(f"integer register index out of range: {n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Architectural id of floating-point register ``fN``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ProgramError(f"fp register index out of range: {n}")
+    return NUM_INT_REGS + n
+
+
+def is_fp_reg(reg_id: int) -> bool:
+    """True when *reg_id* names a floating-point register."""
+    return NUM_INT_REGS <= reg_id < NUM_ARCH_REGS
+
+
+def parse_register(token: str) -> int:
+    """Parse a textual register name into an architectural id.
+
+    Accepts ``rN``, ``fN`` and the ABI aliases (``zero``, ``ra``, ``sp``).
+
+    Raises:
+        ProgramError: on an unknown name or out-of-range index.
+    """
+    token = token.strip().lower()
+    if token in _ALIASES:
+        return _ALIASES[token]
+    if len(token) >= 2 and token[0] in ("r", "f") and token[1:].isdigit():
+        index = int(token[1:])
+        return int_reg(index) if token[0] == "r" else fp_reg(index)
+    raise ProgramError(f"not a register: {token!r}")
+
+
+def register_name(reg_id: int) -> str:
+    """Canonical textual name (``rN`` / ``fN``) of an architectural id."""
+    if not 0 <= reg_id < NUM_ARCH_REGS:
+        raise ProgramError(f"architectural register id out of range: {reg_id}")
+    if reg_id < NUM_INT_REGS:
+        return f"r{reg_id}"
+    return f"f{reg_id - NUM_INT_REGS}"

@@ -1,0 +1,36 @@
+"""Results, aggregation and table rendering shared by all experiments."""
+
+from .energy import (
+    DEFAULT_ENERGY_WEIGHTS,
+    DEFAULT_STATIC_PER_CORE_CYCLE,
+    EnergyReport,
+    active_cores,
+    energy_of,
+)
+from .aggregate import (
+    arith_mean,
+    geomean,
+    geomean_speedup,
+    relative_improvement,
+    speedups,
+)
+from .result import SimResult
+from .store import ResultStore
+from .tables import format_cell, render_table
+
+__all__ = [
+    "DEFAULT_ENERGY_WEIGHTS",
+    "DEFAULT_STATIC_PER_CORE_CYCLE",
+    "EnergyReport",
+    "active_cores",
+    "energy_of",
+    "arith_mean",
+    "geomean",
+    "geomean_speedup",
+    "relative_improvement",
+    "speedups",
+    "SimResult",
+    "ResultStore",
+    "format_cell",
+    "render_table",
+]

@@ -1,0 +1,57 @@
+"""Aggregate metrics over suites of results: geomean speedups, summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .result import SimResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises:
+        ValueError: on an empty sequence or any non-positive value.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    log_sum = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))
+
+
+def speedups(results: Mapping[str, SimResult],
+             baselines: Mapping[str, SimResult]) -> Dict[str, float]:
+    """Per-workload speedups of *results* over *baselines*.
+
+    Both mappings are workload name -> result; only workloads present in
+    both are compared.
+    """
+    common = sorted(set(results) & set(baselines))
+    return {name: results[name].speedup_over(baselines[name])
+            for name in common}
+
+
+def geomean_speedup(results: Mapping[str, SimResult],
+                    baselines: Mapping[str, SimResult]) -> float:
+    """Geometric-mean speedup of *results* over *baselines*."""
+    return geomean(speedups(results, baselines).values())
+
+
+def arith_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ValueError on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def relative_improvement(new: float, old: float) -> float:
+    """Fractional improvement of *new* over *old* (0.18 == 18% better)."""
+    if old <= 0:
+        raise ValueError(f"baseline must be positive, got {old}")
+    return new / old - 1.0

@@ -1,0 +1,146 @@
+"""Activity-based energy accounting for the simulated machines.
+
+Borrowing a second core for single-thread speedup is not free: Fg-STP
+and Core Fusion both roughly double the active hardware.  This module
+provides the standard first-order accounting used in the paper family —
+per-event energy weights multiplied by activity counts, plus static
+leakage per active core-cycle — so experiments can report energy and
+energy-delay product next to performance.
+
+The weights are *relative* units (an ALU op = 1.0), not joules; what
+matters for the comparisons is the ratio structure: memory accesses and
+communication cost more than computation, squashed work burns energy
+without retiring anything, and static power scales with active cores ×
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .result import SimResult
+
+#: Relative dynamic energy per event (ALU op == 1.0).
+DEFAULT_ENERGY_WEIGHTS: Dict[str, float] = {
+    "commit": 1.0,            # execute+retire one instruction
+    "dispatch": 0.4,          # rename/ROB/IQ write
+    "issue": 0.4,             # wakeup/select/regfile read
+    "squashed_uop": 0.9,      # wasted work (executed or partly so)
+    "l1_access": 1.2,
+    "l2_access": 6.0,
+    "memory_access": 45.0,
+    "branch_lookup": 0.3,
+    "queue_transfer": 1.5,    # inter-core value transfer (Fg-STP)
+    "crossbar_penalty": 0.0,  # CF crossbar cost folded into static
+    "partition_decision": 0.2,  # Fg-STP partition-unit work per instr
+}
+
+#: Static (leakage + clock) energy per core per cycle, relative units.
+DEFAULT_STATIC_PER_CORE_CYCLE = 0.8
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting for one simulation result.
+
+    Attributes:
+        dynamic: Total dynamic energy (relative units).
+        static: Total static energy (active cores x cycles x rate).
+        breakdown: Per-event dynamic energy.
+        cycles / instructions: Copied from the result for derived
+            metrics.
+    """
+
+    dynamic: float
+    static: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    cycles: int = 0
+    instructions: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.static
+
+    @property
+    def energy_per_instruction(self) -> float:
+        return self.total / self.instructions if self.instructions else 0.0
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP: total energy x execution time (lower is better)."""
+        return self.total * self.cycles
+
+
+def _cache_events(caches: Dict[str, Any]) -> Dict[str, int]:
+    """Extract l1/l2/memory access counts from a caches stats dict."""
+    l1 = caches.get("l1d", {}).get("accesses", 0) \
+        + caches.get("l1i", {}).get("accesses", 0)
+    l2_stats = caches.get("l2", {})
+    l2 = l2_stats.get("accesses", 0)
+    memory = l2_stats.get("misses", 0)
+    return {"l1_access": l1, "l2_access": l2, "memory_access": memory}
+
+
+def _machine_events(result: SimResult) -> Dict[str, float]:
+    """Per-event activity counts for any of the three machine models."""
+    extra = result.extra
+    events: Dict[str, float] = {
+        "commit": result.instructions,
+        "branch_lookup": extra.get("branch", {}).get("lookups", 0),
+    }
+    if result.machine == "fgstp":
+        cores = extra.get("cores", [])
+        events["dispatch"] = sum(c.get("dispatched", 0) for c in cores)
+        events["issue"] = sum(c.get("issued", 0) for c in cores)
+        events["squashed_uop"] = extra.get("squashed_uops", 0)
+        queues = extra.get("queues", {})
+        events["queue_transfer"] = sum(
+            q.get("sends", 0) for q in queues.values())
+        events["partition_decision"] = extra.get(
+            "partition", {}).get("assigned", 0)
+        for core_key in ("core0", "core1"):
+            for name, count in _cache_events(
+                    extra.get("caches", {}).get(core_key, {})).items():
+                events[name] = events.get(name, 0) + count
+        # The shared L2 appears in both cores' stats dicts; halve it.
+        events["l2_access"] /= 2.0
+        events["memory_access"] /= 2.0
+    else:
+        core = extra.get("core", {})
+        events["dispatch"] = core.get("dispatched", result.instructions)
+        events["issue"] = core.get("issued", result.instructions)
+        events["squashed_uop"] = core.get("squashed_uops", 0)
+        events.update(_cache_events(extra.get("caches", {})))
+    return events
+
+
+def active_cores(result: SimResult) -> int:
+    """How many cores the machine keeps powered during the run."""
+    return 1 if result.machine == "single" else 2
+
+
+def energy_of(result: SimResult,
+              weights: Dict[str, float] = DEFAULT_ENERGY_WEIGHTS,
+              static_per_core_cycle: float = DEFAULT_STATIC_PER_CORE_CYCLE
+              ) -> EnergyReport:
+    """Account the energy of one simulation result.
+
+    Args:
+        result: Any machine's :class:`SimResult` (the machine kind is
+            detected from ``result.machine``).
+        weights: Per-event dynamic energy weights.
+        static_per_core_cycle: Static energy per active core per cycle.
+
+    Returns:
+        An :class:`EnergyReport` with totals and a per-event breakdown.
+    """
+    events = _machine_events(result)
+    breakdown = {name: count * weights.get(name, 0.0)
+                 for name, count in events.items()}
+    dynamic = sum(breakdown.values())
+    static = (active_cores(result) * result.cycles
+              * static_per_core_cycle)
+    return EnergyReport(dynamic=dynamic, static=static,
+                        breakdown=breakdown, cycles=result.cycles,
+                        instructions=result.instructions)

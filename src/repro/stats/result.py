@@ -1,0 +1,69 @@
+"""Simulation results: the record every timing model returns.
+
+A :class:`SimResult` is intentionally plain — cycles, instructions, and a
+nested dictionary of model-specific counters — so experiments can diff,
+serialise and tabulate results from different machines uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one trace on one machine.
+
+    Attributes:
+        machine: Machine label (``"single"``, ``"corefusion"``, ``"fgstp"``).
+        config: Configuration label (``"small"`` / ``"medium"`` / custom).
+        workload: Workload name.
+        cycles: Total simulated cycles.
+        instructions: Committed (retired) trace instructions.  Replicated
+            uops in Fg-STP count once — this is architectural work, which
+            keeps IPC comparable across machines.
+        extra: Nested model-specific counters (cache stats, mispredicts,
+            partition stats, ...).
+    """
+
+    machine: str
+    config: str
+    workload: str
+    cycles: int
+    instructions: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """This result's speedup relative to *baseline* (same workload).
+
+        Raises:
+            ValueError: when the two results retired different work.
+        """
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"speedup across workloads: {self.workload!r} vs "
+                f"{baseline.workload!r}")
+        if baseline.instructions != self.instructions:
+            raise ValueError(
+                f"speedup across different instruction counts: "
+                f"{self.instructions} vs {baseline.instructions}")
+        if self.cycles == 0:
+            raise ValueError("zero-cycle result")
+        return baseline.cycles / self.cycles
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "config": self.config,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "extra": self.extra,
+        }

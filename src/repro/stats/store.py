@@ -1,0 +1,98 @@
+"""Persistent results store: a JSON-lines run database.
+
+Experiments accumulate; comparing today's Fg-STP against last week's
+needs the raw results on disk.  The store appends one JSON object per
+:class:`SimResult` (plus free-form tags such as the git revision or the
+parameter set) and supports filtered reload and cross-run comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .result import SimResult
+
+
+class ResultStore:
+    """Append-only JSON-lines store of simulation results.
+
+    Args:
+        path: Backing file; created on first append.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, result: SimResult,
+               tags: Optional[Dict[str, Any]] = None) -> None:
+        """Append one result (with optional free-form *tags*)."""
+        record = result.as_dict()
+        record["tags"] = dict(tags or {})
+        with self.path.open("a") as stream:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __iter__(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with self.path.open() as stream:
+            for line_no, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{line_no}: corrupt record "
+                        f"({exc})") from exc
+
+    def query(self, machine: Optional[str] = None,
+              workload: Optional[str] = None,
+              config: Optional[str] = None,
+              **tag_filters: Any) -> List[dict]:
+        """Records matching every given filter (None = wildcard)."""
+        matches = []
+        for record in self:
+            if machine is not None and record.get("machine") != machine:
+                continue
+            if workload is not None \
+                    and record.get("workload") != workload:
+                continue
+            if config is not None and record.get("config") != config:
+                continue
+            tags = record.get("tags", {})
+            if any(tags.get(key) != value
+                   for key, value in tag_filters.items()):
+                continue
+            matches.append(record)
+        return matches
+
+    def latest(self, machine: str, workload: str,
+               config: Optional[str] = None) -> Optional[dict]:
+        """The most recently appended matching record, or ``None``."""
+        matches = self.query(machine=machine, workload=workload,
+                             config=config)
+        return matches[-1] if matches else None
+
+    def compare(self, machine_a: str, machine_b: str,
+                config: Optional[str] = None) -> Dict[str, float]:
+        """Latest-run speedup of *machine_a* over *machine_b* per workload.
+
+        Only workloads with matching instruction counts compare.
+        """
+        speedups: Dict[str, float] = {}
+        workloads = {record["workload"] for record in self
+                     if record.get("machine") in (machine_a, machine_b)}
+        for workload in sorted(workloads):
+            a = self.latest(machine_a, workload, config)
+            b = self.latest(machine_b, workload, config)
+            if not a or not b:
+                continue
+            if a["instructions"] != b["instructions"]:
+                continue
+            if a["cycles"] <= 0:
+                continue
+            speedups[workload] = b["cycles"] / a["cycles"]
+        return speedups

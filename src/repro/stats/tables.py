@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment reports.
+
+The harness prints the same rows the paper's tables/figures report; this
+module renders them with aligned columns so the output is directly
+readable in a terminal and diff-able in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_cell(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 precision: int = 3, title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column names.
+        rows: Row values; each row must match ``len(headers)``.
+        precision: Decimal places for float cells.
+        title: Optional title line printed above the table.
+
+    Raises:
+        ValueError: when a row has the wrong number of cells.
+    """
+    formatted: List[List[str]] = [[str(h) for h in headers]]
+    for row_no, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row_no} has {len(row)} cells, expected {len(headers)}")
+        formatted.append([format_cell(cell, precision) for cell in row])
+
+    widths = [max(len(row[col]) for row in formatted)
+              for col in range(len(headers))]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(formatted[0]))
+    out.append("  ".join("-" * width for width in widths))
+    out.extend(line(row) for row in formatted[1:])
+    return "\n".join(out)

@@ -1,0 +1,48 @@
+"""Dynamic instruction traces: records, serialisation and analysis.
+
+Every timing model in the repository consumes a ``list[TraceRecord]``.
+Traces come from the functional interpreter (real programs), the
+synthetic workload generators, or a trace file on disk::
+
+    from repro.trace import read_trace, write_trace, summarize
+
+    records = read_trace("bzip2.fgtr")
+    print(summarize(records).branch_fraction)
+"""
+
+from .analysis import (
+    TraceSummary,
+    dependence_distances,
+    instruction_mix,
+    memory_dependence_count,
+    summarize,
+)
+from .io import TraceFormatError, read_trace, write_trace
+from .record import TraceRecord, validate_trace
+from .transform import (
+    concat,
+    drop_memory,
+    keep_classes,
+    map_records,
+    pc_region,
+    window,
+)
+
+__all__ = [
+    "TraceRecord",
+    "validate_trace",
+    "TraceFormatError",
+    "read_trace",
+    "write_trace",
+    "TraceSummary",
+    "dependence_distances",
+    "instruction_mix",
+    "memory_dependence_count",
+    "summarize",
+    "concat",
+    "drop_memory",
+    "keep_classes",
+    "map_records",
+    "pc_region",
+    "window",
+]

@@ -1,0 +1,116 @@
+"""Trace characterisation utilities.
+
+These functions summarise a dynamic trace along the axes that matter to
+the partitioning study: instruction mix, control-flow behaviour,
+register-dependence distances and memory-dependence structure.  The
+workload generators use them in tests to check that synthetic streams hit
+their calibration targets, and the examples use them for reporting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..isa.opcodes import OpClass
+from .record import TraceRecord
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate characterisation of one trace.
+
+    Attributes:
+        instruction_count: Total dynamic instructions.
+        mix: Fraction of instructions per op class.
+        branch_fraction: Conditional branches / all instructions.
+        taken_fraction: Taken conditional branches / conditional branches.
+        load_fraction: Loads / all instructions.
+        store_fraction: Stores / all instructions.
+        mean_dependence_distance: Mean dynamic distance (in instructions)
+            between a register value's producer and its nearest consumer.
+        unique_pcs: Number of distinct static instructions touched.
+    """
+
+    instruction_count: int
+    mix: Dict[OpClass, float] = field(default_factory=dict)
+    branch_fraction: float = 0.0
+    taken_fraction: float = 0.0
+    load_fraction: float = 0.0
+    store_fraction: float = 0.0
+    mean_dependence_distance: float = 0.0
+    unique_pcs: int = 0
+
+
+def instruction_mix(trace: Sequence[TraceRecord]) -> Dict[OpClass, float]:
+    """Fraction of dynamic instructions in each op class."""
+    if not trace:
+        return {}
+    counts = Counter(record.op_class for record in trace)
+    total = len(trace)
+    return {op_class: count / total for op_class, count in counts.items()}
+
+
+def dependence_distances(trace: Sequence[TraceRecord]) -> List[int]:
+    """Producer→first-consumer distances for register dependences.
+
+    For every dynamic register read whose producer appears earlier in the
+    trace, records ``consumer.seq - producer.seq``.  Reads of never-written
+    registers (live-ins) are skipped.
+    """
+    last_writer: Dict[int, int] = {}
+    distances: List[int] = []
+    for record in trace:
+        for src in record.srcs:
+            producer = last_writer.get(src)
+            if producer is not None:
+                distances.append(record.seq - producer)
+        if record.dst is not None:
+            last_writer[record.dst] = record.seq
+    return distances
+
+
+def memory_dependence_count(trace: Sequence[TraceRecord],
+                            window: Optional[int] = None) -> int:
+    """Number of loads that read an address stored to earlier in the trace.
+
+    Args:
+        window: When given, only stores at most *window* instructions
+            before the load are considered (models a finite disambiguation
+            window).
+    """
+    last_store: Dict[int, int] = {}
+    count = 0
+    for record in trace:
+        if record.is_store:
+            last_store[record.mem_addr] = record.seq
+        elif record.is_load:
+            producer = last_store.get(record.mem_addr)
+            if producer is not None:
+                if window is None or record.seq - producer <= window:
+                    count += 1
+    return count
+
+
+def summarize(trace: Sequence[TraceRecord]) -> TraceSummary:
+    """Compute a full :class:`TraceSummary` for *trace*."""
+    total = len(trace)
+    if total == 0:
+        return TraceSummary(instruction_count=0)
+    branches = [r for r in trace if r.is_branch]
+    taken = sum(1 for r in branches if r.taken)
+    loads = sum(1 for r in trace if r.is_load)
+    stores = sum(1 for r in trace if r.is_store)
+    distances = dependence_distances(trace)
+    return TraceSummary(
+        instruction_count=total,
+        mix=instruction_mix(trace),
+        branch_fraction=len(branches) / total,
+        taken_fraction=taken / len(branches) if branches else 0.0,
+        load_fraction=loads / total,
+        store_fraction=stores / total,
+        mean_dependence_distance=(
+            sum(distances) / len(distances) if distances else 0.0),
+        unique_pcs=len({r.pc for r in trace}),
+    )

@@ -1,0 +1,139 @@
+"""Trace serialisation: a compact, self-describing binary format.
+
+Traces can be large (hundreds of thousands of records), so the format is
+a fixed-size packed record per instruction with a small header:
+
+.. code-block:: text
+
+    header:  magic "FGTR" | u32 version | u64 record count
+    record:  u32 pc | u8 op_class | i8 dst | u8 nsrcs | u8 flags
+             | u8 srcs[4] | u64 mem_addr | u8 mem_size | u32 target
+
+``flags`` bit 0 = taken, bit 1 = has mem_addr, bit 2 = has target,
+bit 3 = has dst.  ``srcs`` is fixed at 4 slots (the ISA never uses more
+than 2, but the slack keeps the format future-proof); unused slots are
+0xFF.  ``seq`` is implicit from record position.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, List, Union
+
+from ..isa.opcodes import OpClass
+from .record import TraceRecord
+
+MAGIC = b"FGTR"
+VERSION = 1
+_HEADER = struct.Struct("<4sIQ")
+_RECORD = struct.Struct("<IbbBB4BQBI")
+_MAX_SRCS = 4
+_NO_REG = 0xFF
+
+_FLAG_TAKEN = 1
+_FLAG_MEM = 2
+_FLAG_TARGET = 4
+_FLAG_DST = 8
+
+
+class TraceFormatError(Exception):
+    """Raised on a malformed trace file."""
+
+
+def write_trace(records: Iterable[TraceRecord],
+                destination: Union[str, Path, BinaryIO]) -> int:
+    """Write *records* to *destination* (path or binary file object).
+
+    Returns:
+        The number of records written.
+    """
+    own = isinstance(destination, (str, Path))
+    stream = open(destination, "wb") if own else destination
+    try:
+        records = list(records)
+        stream.write(_HEADER.pack(MAGIC, VERSION, len(records)))
+        for record in records:
+            stream.write(_pack(record))
+        return len(records)
+    finally:
+        if own:
+            stream.close()
+
+
+def read_trace(source: Union[str, Path, BinaryIO]) -> List[TraceRecord]:
+    """Read a trace previously written by :func:`write_trace`.
+
+    Raises:
+        TraceFormatError: on bad magic, version, or truncated data.
+    """
+    own = isinstance(source, (str, Path))
+    stream = open(source, "rb") if own else source
+    try:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError("truncated header")
+        magic, version, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported version {version}")
+        payload = stream.read(count * _RECORD.size)
+        if len(payload) != count * _RECORD.size:
+            raise TraceFormatError(
+                f"expected {count} records, file is truncated")
+        records = []
+        for seq in range(count):
+            offset = seq * _RECORD.size
+            records.append(_unpack(seq, payload, offset))
+        return records
+    finally:
+        if own:
+            stream.close()
+
+
+def _pack(record: TraceRecord) -> bytes:
+    flags = 0
+    if record.taken:
+        flags |= _FLAG_TAKEN
+    if record.mem_addr is not None:
+        flags |= _FLAG_MEM
+    if record.target is not None:
+        flags |= _FLAG_TARGET
+    if record.dst is not None:
+        flags |= _FLAG_DST
+    srcs = list(record.srcs[:_MAX_SRCS])
+    if len(record.srcs) > _MAX_SRCS:
+        raise TraceFormatError(
+            f"record {record.seq} has {len(record.srcs)} sources, "
+            f"format supports {_MAX_SRCS}")
+    srcs += [_NO_REG] * (_MAX_SRCS - len(srcs))
+    return _RECORD.pack(
+        record.pc,
+        int(record.op_class),
+        record.dst if record.dst is not None else -1,
+        len(record.srcs),
+        flags,
+        *srcs,
+        record.mem_addr if record.mem_addr is not None else 0,
+        record.mem_size,
+        record.target if record.target is not None else 0,
+    )
+
+
+def _unpack(seq: int, payload: bytes, offset: int) -> TraceRecord:
+    (pc, op_class, dst, nsrcs, flags,
+     s0, s1, s2, s3, mem_addr, mem_size, target) = _RECORD.unpack_from(
+        payload, offset)
+    srcs = tuple((s0, s1, s2, s3)[:nsrcs])
+    return TraceRecord(
+        seq=seq,
+        pc=pc,
+        op_class=OpClass(op_class),
+        dst=dst if flags & _FLAG_DST else None,
+        srcs=srcs,
+        mem_addr=mem_addr if flags & _FLAG_MEM else None,
+        mem_size=mem_size,
+        taken=bool(flags & _FLAG_TAKEN),
+        target=target if flags & _FLAG_TARGET else None,
+    )

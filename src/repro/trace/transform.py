@@ -1,0 +1,130 @@
+"""Trace transformation utilities.
+
+Composable operations on dynamic traces used by experiments and tests:
+windowing, op-class filtering, PC-region slicing, deterministic
+perturbations (latency-class remapping for what-if studies) and
+concatenation.  Every transform returns a *new*, densely renumbered
+trace that still satisfies :func:`repro.trace.record.validate_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from ..isa.opcodes import OpClass
+from .record import TraceRecord
+
+
+def _renumber(records: Iterable[TraceRecord]) -> List[TraceRecord]:
+    out = []
+    for seq, record in enumerate(records):
+        out.append(TraceRecord(seq, record.pc, record.op_class,
+                               record.dst, record.srcs, record.mem_addr,
+                               record.mem_size, record.taken,
+                               record.target))
+    return out
+
+
+def window(trace: Sequence[TraceRecord], start: int,
+           length: int) -> List[TraceRecord]:
+    """A densely renumbered slice ``trace[start:start+length]``.
+
+    Raises:
+        ValueError: on a negative start/length.
+    """
+    if start < 0 or length < 0:
+        raise ValueError(f"negative window: start={start} length={length}")
+    return _renumber(trace[start:start + length])
+
+
+def keep_classes(trace: Sequence[TraceRecord],
+                 classes: Iterable[OpClass]) -> List[TraceRecord]:
+    """Only the records whose op class is in *classes* (renumbered).
+
+    Control-flow records lose their targets' context when their
+    neighbours are dropped, so branches are rewritten as not-taken to
+    keep the result valid — this is a *statistical* filter, not a
+    semantic slice.
+    """
+    wanted = set(classes)
+    kept = []
+    for record in trace:
+        if record.op_class not in wanted:
+            continue
+        if record.is_control:
+            kept.append(TraceRecord(0, record.pc, record.op_class,
+                                    record.dst, record.srcs))
+        else:
+            kept.append(record)
+    return _renumber(kept)
+
+
+def drop_memory(trace: Sequence[TraceRecord]) -> List[TraceRecord]:
+    """The trace with loads/stores replaced by same-shape ALU ops.
+
+    A what-if transform: "how fast would this code be with a perfect
+    memory system?"  Register dataflow is preserved exactly.
+    """
+    out = []
+    for record in trace:
+        if record.is_memory:
+            out.append(TraceRecord(0, record.pc, OpClass.IALU,
+                                   record.dst, record.srcs))
+        else:
+            out.append(record)
+    return _renumber(out)
+
+
+def pc_region(trace: Sequence[TraceRecord], low_pc: int,
+              high_pc: int) -> List[TraceRecord]:
+    """Records whose PC lies in ``[low_pc, high_pc)`` (renumbered).
+
+    Control records are rewritten not-taken (see :func:`keep_classes`).
+    """
+    if low_pc >= high_pc:
+        raise ValueError(f"empty pc region [{low_pc}, {high_pc})")
+    kept = []
+    for record in trace:
+        if not low_pc <= record.pc < high_pc:
+            continue
+        if record.is_control:
+            kept.append(TraceRecord(0, record.pc, record.op_class,
+                                    record.dst, record.srcs))
+        else:
+            kept.append(record)
+    return _renumber(kept)
+
+
+def concat(*traces: Sequence[TraceRecord]) -> List[TraceRecord]:
+    """Concatenate traces into one densely renumbered stream."""
+    merged: List[TraceRecord] = []
+    for trace in traces:
+        merged.extend(trace)
+    return _renumber(merged)
+
+
+def map_records(trace: Sequence[TraceRecord],
+                transform: Callable[[TraceRecord], TraceRecord]
+                ) -> List[TraceRecord]:
+    """Apply *transform* to every record, then renumber.
+
+    The callable receives each record and returns a (possibly new)
+    record; ``seq`` values are rewritten afterwards, so transforms need
+    not maintain them.
+    """
+    return _renumber(transform(record) for record in trace)
+
+
+def stats_preserving_shuffle_check(trace: Sequence[TraceRecord]) -> dict:
+    """Summary fingerprint used to verify transforms keep what they claim.
+
+    Returns counts per op class plus totals — cheap to compare before
+    and after a transform in tests.
+    """
+    counts = {}
+    for record in trace:
+        counts[record.op_class] = counts.get(record.op_class, 0) + 1
+    return {
+        "total": len(trace),
+        "per_class": counts,
+    }

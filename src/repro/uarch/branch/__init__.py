@@ -1,0 +1,23 @@
+"""Branch prediction: direction predictors, BTB, RAS, front-end wrapper."""
+
+from .btb import BranchTargetBuffer, FrontEndPredictor, ReturnAddressStack
+from .predictors import (
+    BimodalPredictor,
+    DirectionPredictor,
+    GsharePredictor,
+    PerceptronPredictor,
+    TournamentPredictor,
+    make_direction_predictor,
+)
+
+__all__ = [
+    "BranchTargetBuffer",
+    "FrontEndPredictor",
+    "ReturnAddressStack",
+    "BimodalPredictor",
+    "DirectionPredictor",
+    "GsharePredictor",
+    "PerceptronPredictor",
+    "TournamentPredictor",
+    "make_direction_predictor",
+]

@@ -1,0 +1,13 @@
+"""Cache hierarchy models: set-associative caches, MSHRs, main memory."""
+
+from .cache import Cache, CacheStats, MainMemory
+from .hierarchy import CacheHierarchy, MshrFile, make_shared_l2
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MainMemory",
+    "CacheHierarchy",
+    "MshrFile",
+    "make_shared_l2",
+]

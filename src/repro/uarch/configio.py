@@ -1,0 +1,134 @@
+"""JSON (de)serialisation of machine configurations.
+
+Lets experiments pin their exact machine configuration to a file (for
+provenance) and lets users define custom machines without touching
+Python:
+
+.. code-block:: python
+
+    from repro.uarch.configio import save_core_params, load_core_params
+
+    save_core_params(medium_core_config(), "medium.json")
+    custom = load_core_params("medium.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..fgstp.params import FgStpParams
+from ..isa.opcodes import OpClass
+from .params import BranchPredictorParams, CacheParams, CoreParams
+
+
+def core_params_to_dict(params: CoreParams) -> dict:
+    """Plain-JSON-able dictionary of a core configuration."""
+    return {
+        "name": params.name,
+        "fetch_width": params.fetch_width,
+        "issue_width": params.issue_width,
+        "commit_width": params.commit_width,
+        "rob_entries": params.rob_entries,
+        "iq_entries": params.iq_entries,
+        "lsq_entries": params.lsq_entries,
+        "fu_pool": dict(params.fu_pool),
+        "latencies": {op.name: latency
+                      for op, latency in params.latencies.items()},
+        "branch": {
+            "kind": params.branch.kind,
+            "table_entries": params.branch.table_entries,
+            "history_bits": params.branch.history_bits,
+            "btb_entries": params.branch.btb_entries,
+            "ras_entries": params.branch.ras_entries,
+        },
+        "l1d": _cache_to_dict(params.l1d),
+        "l1i": _cache_to_dict(params.l1i),
+        "l2": _cache_to_dict(params.l2),
+        "memory_latency": params.memory_latency,
+        "mispredict_penalty": params.mispredict_penalty,
+    }
+
+
+def core_params_from_dict(data: dict) -> CoreParams:
+    """Rebuild a :class:`CoreParams` from :func:`core_params_to_dict`.
+
+    Raises:
+        KeyError: on missing fields.
+        ValueError: on an unknown op-class name in ``latencies``.
+    """
+    return CoreParams(
+        name=data["name"],
+        fetch_width=data["fetch_width"],
+        issue_width=data["issue_width"],
+        commit_width=data["commit_width"],
+        rob_entries=data["rob_entries"],
+        iq_entries=data["iq_entries"],
+        lsq_entries=data["lsq_entries"],
+        fu_pool=dict(data["fu_pool"]),
+        latencies={OpClass[name]: latency
+                   for name, latency in data["latencies"].items()},
+        branch=BranchPredictorParams(**data["branch"]),
+        l1d=CacheParams(**data["l1d"]),
+        l1i=CacheParams(**data["l1i"]),
+        l2=CacheParams(**data["l2"]),
+        memory_latency=data["memory_latency"],
+        mispredict_penalty=data["mispredict_penalty"],
+    )
+
+
+def _cache_to_dict(cache: CacheParams) -> dict:
+    return {
+        "size_bytes": cache.size_bytes,
+        "assoc": cache.assoc,
+        "line_bytes": cache.line_bytes,
+        "hit_latency": cache.hit_latency,
+        "mshrs": cache.mshrs,
+    }
+
+
+def save_core_params(params: CoreParams,
+                     path: Union[str, Path]) -> None:
+    """Write *params* as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(core_params_to_dict(params), indent=2) + "\n")
+
+
+def load_core_params(path: Union[str, Path]) -> CoreParams:
+    """Read a configuration written by :func:`save_core_params`."""
+    return core_params_from_dict(json.loads(Path(path).read_text()))
+
+
+def fgstp_params_to_dict(params: FgStpParams) -> dict:
+    """Plain dictionary of Fg-STP mechanism parameters."""
+    return {
+        "window_size": params.window_size,
+        "batch_size": params.batch_size,
+        "partition_latency": params.partition_latency,
+        "queue_latency": params.queue_latency,
+        "queue_bandwidth": params.queue_bandwidth,
+        "speculation": params.speculation,
+        "replication": params.replication,
+        "recovery_penalty": params.recovery_penalty,
+        "balance_factor": params.balance_factor,
+        "affinity_recent": params.affinity_recent,
+        "replication_max_weight": params.replication_max_weight,
+    }
+
+
+def fgstp_params_from_dict(data: dict) -> FgStpParams:
+    """Rebuild :class:`FgStpParams` from its dictionary form."""
+    return FgStpParams(**data)
+
+
+def save_fgstp_params(params: FgStpParams,
+                      path: Union[str, Path]) -> None:
+    """Write Fg-STP parameters as JSON."""
+    Path(path).write_text(
+        json.dumps(fgstp_params_to_dict(params), indent=2) + "\n")
+
+
+def load_fgstp_params(path: Union[str, Path]) -> FgStpParams:
+    """Read parameters written by :func:`save_fgstp_params`."""
+    return fgstp_params_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,31 @@
+"""Cycle-level out-of-order pipeline: uops, core, fetch unit, machine."""
+
+from .core import CoreStats, CycleCore
+from .fetch import SelfFetchUnit
+from .machine import SingleCoreMachine, simulate_single_core
+from .uop import (
+    COMMITTED,
+    COMPLETED,
+    DISPATCHED,
+    FETCHED,
+    ISSUED,
+    SQUASHED,
+    Uop,
+    ValueTag,
+)
+
+__all__ = [
+    "CoreStats",
+    "CycleCore",
+    "SelfFetchUnit",
+    "SingleCoreMachine",
+    "simulate_single_core",
+    "COMMITTED",
+    "COMPLETED",
+    "DISPATCHED",
+    "FETCHED",
+    "ISSUED",
+    "SQUASHED",
+    "Uop",
+    "ValueTag",
+]

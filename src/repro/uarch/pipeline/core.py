@@ -1,0 +1,515 @@
+"""Cycle-level out-of-order core.
+
+:class:`CycleCore` models one out-of-order core at cycle granularity:
+fetch buffer -> dispatch (rename) into ROB/IQ/LSQ -> dataflow issue with
+functional-unit and width constraints -> completion -> in-order commit.
+
+The core is deliberately *fetch-agnostic*: instructions are pushed into
+its fetch buffer by a fetch unit (:mod:`repro.uarch.pipeline.fetch` for a
+self-fetching machine, or the Fg-STP orchestrator's global front end).
+This is what lets the exact same core model serve as:
+
+* the single-core baselines (small / medium),
+* one fused half of the Core Fusion machine (via clustering support), and
+* each of the two collaborating cores of Fg-STP.
+
+Modelling notes / simplifications (standard for trace-driven models):
+
+* Wrong-path instructions are not simulated; a mispredicted control
+  instruction stops fetch until it resolves, plus a redirect penalty.
+* Functional units are fully pipelined; the per-cycle constraints are the
+  issue width, the per-pool FU counts and (when clustered) the
+  per-cluster issue width.
+* Stores complete one cycle after issue; their cache write is charged at
+  commit for statistics but does not stall retirement.
+* Register renaming is implicit: dependences are resolved at dispatch
+  against the youngest in-flight writer, so WAR/WAW hazards never stall.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from ...isa.opcodes import OpClass
+from ..cache.hierarchy import CacheHierarchy
+from ..params import FU_POOL_OF_CLASS, CoreParams
+from .uop import (
+    COMMITTED,
+    COMPLETED,
+    DISPATCHED,
+    FETCHED,
+    ISSUED,
+    SQUASHED,
+    Uop,
+    ValueTag,
+)
+
+
+class CoreStats:
+    """Counters accumulated by one core over a run."""
+
+    __slots__ = ("committed", "dispatched", "issued", "squashed_uops",
+                 "load_forwards", "rob_full_stalls", "iq_full_stalls",
+                 "lsq_full_stalls", "cycles_active")
+
+    def __init__(self):
+        self.committed = 0
+        self.dispatched = 0
+        self.issued = 0
+        self.squashed_uops = 0
+        self.load_forwards = 0
+        self.rob_full_stalls = 0
+        self.iq_full_stalls = 0
+        self.lsq_full_stalls = 0
+        self.cycles_active = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class CycleCore:
+    """One out-of-order core (see module docstring).
+
+    Args:
+        params: Core configuration.
+        hierarchy: This core's cache hierarchy (L1s, shared or private L2).
+        name: Label used in stats.
+        num_clusters: 1 for a normal core; 2 for a Core Fusion machine
+            built from two fused cores.
+        cross_cluster_latency: Extra cycles a value needs to cross from
+            one cluster's bypass network to the other (Core Fusion's
+            operand-crossbar cost).
+        cluster_issue_width: Per-cluster issue limit (defaults to
+            ``issue_width // num_clusters``).
+        on_complete: Callback ``(uop, cycle)`` fired when a uop finishes
+            execution (the Fg-STP orchestrator hooks communication sends
+            and memory-violation checks here).
+        on_commit: Callback ``(uop, cycle)`` fired at retirement.
+    """
+
+    def __init__(self, params: CoreParams, hierarchy: CacheHierarchy,
+                 name: str = "core0",
+                 num_clusters: int = 1,
+                 cross_cluster_latency: int = 0,
+                 cluster_issue_width: Optional[int] = None,
+                 on_complete: Optional[Callable[[Uop, int], None]] = None,
+                 on_commit: Optional[Callable[[Uop, int], None]] = None):
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1: {num_clusters}")
+        self.params = params
+        self.hierarchy = hierarchy
+        self.name = name
+        self.num_clusters = num_clusters
+        self.cross_cluster_latency = cross_cluster_latency
+        self.cluster_issue_width = (
+            cluster_issue_width
+            if cluster_issue_width is not None
+            else max(1, params.issue_width // num_clusters))
+        self.on_complete = on_complete
+        self.on_commit = on_commit
+        self.stats = CoreStats()
+
+        self._fetch_buffer: deque = deque()
+        self._fetch_capacity = max(2 * params.fetch_width, 8)
+        self._rob: deque = deque()
+        self._iq_count = 0
+        self._lsq_count = 0
+        self._ready_heap: List = []       # (ready_cycle, seq, uid, uop)
+        self._completion_heap: List = []  # (complete_cycle, uid, uop)
+        self._reg_map: Dict[int, Uop] = {}     # arch reg -> in-flight writer
+        self._store_map: Dict[int, Uop] = {}   # address -> in-flight store
+        self._next_cluster = 0
+        self._cluster_dispatched = [0] * num_clusters
+
+    # ------------------------------------------------------------------
+    # Feeding (called by a fetch unit / orchestrator)
+    # ------------------------------------------------------------------
+
+    def fetch_space(self) -> int:
+        """How many more uops the fetch buffer accepts right now."""
+        return self._fetch_capacity - len(self._fetch_buffer)
+
+    def push_fetched(self, uop: Uop, cycle: int) -> None:
+        """Insert *uop* into the fetch buffer (front end's job).
+
+        Raises:
+            RuntimeError: when the buffer is full — fetch units must check
+                :meth:`fetch_space` first.
+        """
+        if len(self._fetch_buffer) >= self._fetch_capacity:
+            raise RuntimeError(f"{self.name}: fetch buffer overflow")
+        uop.state = FETCHED
+        uop.fetch_cycle = cycle
+        self._fetch_buffer.append(uop)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rob_head(self) -> Optional[Uop]:
+        return self._rob[0] if self._rob else None
+
+    def busy(self) -> bool:
+        """True while any uop is anywhere in the pipeline."""
+        return bool(self._rob or self._fetch_buffer)
+
+    def rob_occupancy(self) -> int:
+        return len(self._rob)
+
+    # ------------------------------------------------------------------
+    # Pipeline phases — the machine/orchestrator composes these per cycle
+    # ------------------------------------------------------------------
+
+    def phase_commit(self, cycle: int,
+                     gate: Optional[Callable[[Uop], bool]] = None,
+                     budget: Optional[int] = None) -> List[Uop]:
+        """Retire up to ``commit_width`` completed uops from the ROB head.
+
+        Args:
+            gate: Optional predicate consulted per uop; retirement stops
+                at the first uop for which it returns False (Fg-STP's
+                global in-order commit gate).
+            budget: Optional override of the remaining commit slots this
+                cycle (used when the phase runs multiple passes per cycle).
+
+        Returns:
+            The uops retired by this call, oldest first.
+        """
+        committed: List[Uop] = []
+        width = self.params.commit_width if budget is None else budget
+        rob = self._rob
+        while rob and len(committed) < width:
+            head = rob[0]
+            if head.state != COMPLETED or head.complete_cycle >= cycle:
+                break
+            if gate is not None and not gate(head):
+                break
+            rob.popleft()
+            head.state = COMMITTED
+            head.commit_cycle = cycle
+            record = head.record
+            if record.is_memory:
+                self._lsq_count -= 1
+                if record.is_store:
+                    # Charge the write for statistics at retirement.
+                    self.hierarchy.store(record.mem_addr, cycle)
+                    if self._store_map.get(record.mem_addr) is head:
+                        del self._store_map[record.mem_addr]
+            if record.dst is not None and self._reg_map.get(record.dst) is head:
+                del self._reg_map[record.dst]
+            self.stats.committed += 1
+            committed.append(head)
+            if self.on_commit is not None:
+                self.on_commit(head, cycle)
+        return committed
+
+    def phase_complete(self, cycle: int) -> List[Uop]:
+        """Move uops whose execution finished at/before *cycle* to COMPLETED."""
+        done: List[Uop] = []
+        heap = self._completion_heap
+        while heap and heap[0][0] <= cycle:
+            _, _, uop = heapq.heappop(heap)
+            if uop.state == SQUASHED:
+                continue
+            uop.state = COMPLETED
+            done.append(uop)
+            if self.on_complete is not None:
+                self.on_complete(uop, cycle)
+        return done
+
+    def phase_issue(self, cycle: int) -> int:
+        """Issue ready uops, oldest first, under width/FU constraints.
+
+        Returns:
+            Number of uops issued this cycle.
+        """
+        issued = 0
+        width = self.params.issue_width
+        pool_params = self.params.fu_pool
+        pool_used: Dict[str, int] = {}
+        cluster_used = [0] * self.num_clusters
+        deferred: List = []
+        heap = self._ready_heap
+
+        while heap and issued < width:
+            entry = heap[0]
+            if entry[0] > cycle:
+                break
+            heapq.heappop(heap)
+            uop = entry[3]
+            if uop.state != DISPATCHED or entry[0] < uop.ready_cycle:
+                continue  # squashed, already issued, or stale (delayed)
+            pool = uop.pool
+            cluster = uop.cluster
+            if cluster_used[cluster] >= self.cluster_issue_width:
+                deferred.append((cycle + 1, entry[1], entry[2], uop))
+                continue
+            if pool_used.get(pool, 0) >= pool_params.get(pool, 1):
+                deferred.append((cycle + 1, entry[1], entry[2], uop))
+                continue
+            pool_used[pool] = pool_used.get(pool, 0) + 1
+            cluster_used[cluster] += 1
+            self._do_issue(uop, cycle)
+            issued += 1
+
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+        return issued
+
+    def _do_issue(self, uop: Uop, cycle: int) -> None:
+        uop.state = ISSUED
+        uop.issue_cycle = cycle
+        self._iq_count -= 1
+        self.stats.issued += 1
+        record = uop.record
+        op_class = record.op_class
+        if op_class == OpClass.LOAD:
+            if uop.forwarded:
+                latency = 1
+                self.stats.load_forwards += 1
+            else:
+                latency = max(1, self.hierarchy.load(record.mem_addr, cycle))
+        elif op_class == OpClass.STORE:
+            latency = 1
+        else:
+            latency = max(1, self.params.latencies[op_class])
+        complete = cycle + latency
+        uop.complete_cycle = complete
+        heapq.heappush(self._completion_heap, (complete, uop.uid, uop))
+        # Wake consumers: their producer's completion time is now known.
+        cross = self.cross_cluster_latency
+        for consumer in uop.consumers:
+            if consumer.state == SQUASHED:
+                continue
+            seen = complete
+            if cross and consumer.cluster != uop.cluster:
+                seen += cross
+            if seen > consumer.operand_ready:
+                consumer.operand_ready = seen
+            consumer.pending -= 1
+            if consumer.pending == 0 and consumer.state == DISPATCHED:
+                self._enqueue_ready(consumer)
+        uop.consumers = []
+
+    def phase_dispatch(self, cycle: int) -> int:
+        """Rename/dispatch from the fetch buffer into ROB/IQ/LSQ.
+
+        When clustered (Core Fusion), each cluster's rename stage only
+        handles its own width per cycle, so steering falls back to the
+        other cluster once the preferred one is full — the forced chain
+        splits this causes are a real fusion overhead.
+
+        Returns:
+            Number of uops dispatched this cycle.
+        """
+        dispatched = 0
+        width = self.params.fetch_width  # dispatch width == front width
+        params = self.params
+        self._cluster_dispatched = [0] * self.num_clusters
+        while self._fetch_buffer and dispatched < width:
+            uop = self._fetch_buffer[0]
+            if len(self._rob) >= params.rob_entries:
+                self.stats.rob_full_stalls += 1
+                break
+            if self._iq_count >= params.iq_entries:
+                self.stats.iq_full_stalls += 1
+                break
+            if uop.is_memory and self._lsq_count >= params.lsq_entries:
+                self.stats.lsq_full_stalls += 1
+                break
+            self._fetch_buffer.popleft()
+            self._dispatch_one(uop, cycle)
+            dispatched += 1
+        return dispatched
+
+    def _dispatch_one(self, uop: Uop, cycle: int) -> None:
+        uop.state = DISPATCHED
+        uop.dispatch_cycle = cycle
+        uop.pool = FU_POOL_OF_CLASS[uop.record.op_class]
+        uop.cluster = self._steer(uop)
+        self._rob.append(uop)
+        self._iq_count += 1
+        self.stats.dispatched += 1
+        record = uop.record
+        if record.is_memory:
+            self._lsq_count += 1
+
+        pending = 0
+        ready_max = 0
+        cross = self.cross_cluster_latency
+        for src in record.srcs:
+            producer = self._reg_map.get(src)
+            if producer is None:
+                continue
+            if producer.complete_cycle is not None:
+                seen = producer.complete_cycle
+                if cross and producer.cluster != uop.cluster:
+                    seen += cross
+                if seen > ready_max:
+                    ready_max = seen
+            else:
+                producer.consumers.append(uop)
+                pending += 1
+
+        # In-core store-to-load forwarding: a load depends on the youngest
+        # earlier in-flight store to the same address.
+        if record.is_load:
+            store = self._store_map.get(record.mem_addr)
+            if store is not None and store.state != COMMITTED:
+                uop.forwarded = True
+                if store.complete_cycle is not None:
+                    if store.complete_cycle > ready_max:
+                        ready_max = store.complete_cycle
+                else:
+                    store.consumers.append(uop)
+                    pending += 1
+        elif record.is_store:
+            self._store_map[record.mem_addr] = uop
+
+        # External dependences (inter-core values) attached by the
+        # orchestrator before feeding.
+        for tag in uop.extra_deps:
+            if tag.ready_cycle is not None:
+                if tag.ready_cycle > ready_max:
+                    ready_max = tag.ready_cycle
+            else:
+                tag.consumers.append(uop)
+                pending += 1
+
+        if record.dst is not None:
+            self._reg_map[record.dst] = uop
+
+        uop.pending = pending
+        uop.operand_ready = max(uop.operand_ready, ready_max)
+        if pending == 0:
+            self._enqueue_ready(uop)
+
+    def _steer(self, uop: Uop) -> int:
+        """Cluster steering for fused (multi-cluster) operation.
+
+        Dependence-affinity steering with a per-cluster rename-bandwidth
+        cap: follow the youngest producer's cluster when one exists (and
+        its rename stage still has a slot this cycle), otherwise
+        round-robin over clusters with remaining capacity.
+        """
+        if self.num_clusters == 1:
+            return 0
+        used = self._cluster_dispatched
+        cap = self.cluster_issue_width
+        preferred = None
+        for src in reversed(uop.record.srcs):
+            producer = self._reg_map.get(src)
+            if producer is not None and producer.state != COMMITTED:
+                preferred = producer.cluster
+                break
+        if preferred is not None and used[preferred] < cap:
+            used[preferred] += 1
+            return preferred
+        for _ in range(self.num_clusters):
+            cluster = self._next_cluster
+            self._next_cluster = (cluster + 1) % self.num_clusters
+            if used[cluster] < cap:
+                used[cluster] += 1
+                return cluster
+        # Every cluster full this cycle (dispatch width exceeds total
+        # cluster capacity): spill round-robin.
+        cluster = self._next_cluster
+        self._next_cluster = (cluster + 1) % self.num_clusters
+        used[cluster] += 1
+        return cluster
+
+    def _enqueue_ready(self, uop: Uop) -> None:
+        ready = uop.operand_ready
+        earliest = uop.dispatch_cycle + 1
+        if ready < earliest:
+            ready = earliest
+        uop.ready_cycle = ready
+        heapq.heappush(self._ready_heap, (ready, uop.seq, uop.uid, uop))
+
+    def wake(self, uop: Uop) -> None:
+        """Enqueue *uop* for issue after its last external dep resolved.
+
+        Called by an orchestrator after a :class:`ValueTag` it manages was
+        satisfied and returned this uop as fully woken.
+        """
+        if uop.state == DISPATCHED and uop.pending == 0:
+            self._enqueue_ready(uop)
+
+    def delay_uop(self, uop: Uop, until_cycle: int) -> None:
+        """Push a dispatched-but-unissued uop's earliest issue to *until_cycle*.
+
+        Used for cross-core store-to-load forwarding: a speculated load
+        that has not issued yet when the conflicting store completes must
+        wait for the forwarded data.  Older ready-heap entries become
+        stale and are skipped at issue.
+        """
+        if uop.state != DISPATCHED:
+            return
+        if until_cycle > uop.operand_ready:
+            uop.operand_ready = until_cycle
+        if uop.pending == 0:
+            self._enqueue_ready(uop)
+
+    # ------------------------------------------------------------------
+    # Squash (pipeline flush)
+    # ------------------------------------------------------------------
+
+    def squash_from(self, seq: int) -> int:
+        """Kill every in-flight uop with ``record.seq >= seq``.
+
+        Used by the Fg-STP orchestrator on memory-dependence violations.
+        The fetch buffer, ROB, IQ and LSQ are purged; the register and
+        store maps are rebuilt from the surviving (older) uops.  Heap
+        entries for squashed uops are invalidated lazily.
+
+        Returns:
+            Number of uops squashed.
+        """
+        count = 0
+        for uop in self._fetch_buffer:
+            if uop.seq >= seq:
+                uop.state = SQUASHED
+                count += 1
+        self._fetch_buffer = deque(
+            u for u in self._fetch_buffer if u.state != SQUASHED)
+
+        survivors: deque = deque()
+        for uop in self._rob:
+            if uop.seq >= seq:
+                if uop.state == DISPATCHED:
+                    self._iq_count -= 1
+                if uop.is_memory:
+                    self._lsq_count -= 1
+                uop.state = SQUASHED
+                count += 1
+            else:
+                survivors.append(uop)
+        self._rob = survivors
+
+        # Rebuild rename and store-forwarding maps from survivors.
+        self._reg_map = {}
+        self._store_map = {}
+        for uop in survivors:
+            record = uop.record
+            if record.dst is not None:
+                self._reg_map[record.dst] = uop
+            if record.is_store:
+                self._store_map[record.mem_addr] = uop
+        self.stats.squashed_uops += count
+        return count
+
+    def drain_check(self) -> None:
+        """Sanity check for the end of a run.
+
+        Raises:
+            RuntimeError: when uops are still in flight (a deadlock or a
+                commit-gate bug would surface here instead of hanging).
+        """
+        if self.busy():
+            head = self.rob_head
+            raise RuntimeError(
+                f"{self.name}: pipeline not drained; rob={len(self._rob)} "
+                f"fetchbuf={len(self._fetch_buffer)} head={head!r}")

@@ -1,0 +1,119 @@
+"""Self-fetching front end for single-core (and fused) machines.
+
+The :class:`SelfFetchUnit` walks a dynamic trace in order, consults the
+branch predictor and the instruction cache, and pushes uops into its
+core's fetch buffer.  A mispredicted control transfer stops fetch until
+the offending uop resolves (its execution completes) plus the redirect
+penalty — the standard trace-driven misprediction model, in which
+wrong-path work is represented by lost fetch cycles rather than by
+simulating wrong-path instructions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...isa.program import INSTRUCTION_BYTES
+from ...trace.record import TraceRecord
+from ..branch.btb import FrontEndPredictor
+from .core import CycleCore
+from .uop import COMPLETED, COMMITTED, Uop
+
+
+class SelfFetchUnit:
+    """Fetches a trace into one :class:`CycleCore`.
+
+    Args:
+        core: The core to feed.
+        trace: The dynamic instruction stream (retirement order).
+        predictor: The front-end branch predictor (direction + BTB + RAS).
+        line_bytes: I-cache line size, used to charge one I-cache access
+            per new line rather than per instruction.
+    """
+
+    def __init__(self, core: CycleCore, trace: Sequence[TraceRecord],
+                 predictor: FrontEndPredictor, line_bytes: int = 64):
+        self.core = core
+        self.trace = trace
+        self.predictor = predictor
+        self.line_bytes = line_bytes
+        self._cursor = 0
+        self._next_uid = 0
+        self._stall_on: Optional[Uop] = None   # unresolved mispredict
+        self._icache_ready = 0                 # cycle the current line arrives
+        self._current_line = -1
+        self.fetched = 0
+        self.mispredict_stalls = 0
+
+    def done(self) -> bool:
+        """True once the whole trace has been fetched."""
+        return self._cursor >= len(self.trace)
+
+    def phase_fetch(self, cycle: int) -> int:
+        """Fetch up to ``fetch_width`` instructions at *cycle*.
+
+        Returns:
+            Number of uops pushed into the core this cycle.
+        """
+        if self._stall_on is not None:
+            uop = self._stall_on
+            if uop.state in (COMPLETED, COMMITTED):
+                resume = uop.complete_cycle + self.core.params.mispredict_penalty
+                if cycle >= resume:
+                    self._stall_on = None
+                else:
+                    self.mispredict_stalls += 1
+                    return 0
+            else:
+                self.mispredict_stalls += 1
+                return 0
+        if cycle < self._icache_ready:
+            return 0
+
+        fetched = 0
+        width = self.core.params.fetch_width
+        trace = self.trace
+        while (fetched < width and self._cursor < len(trace)
+               and self.core.fetch_space() > 0):
+            record = trace[self._cursor]
+            line = (record.pc * INSTRUCTION_BYTES) // self.line_bytes
+            if line != self._current_line:
+                latency = self.core.hierarchy.fetch(
+                    record.pc * INSTRUCTION_BYTES)
+                self._current_line = line
+                if latency > self.core.params.l1i.hit_latency:
+                    # Line miss: the rest of this fetch group waits.
+                    self._icache_ready = cycle + latency
+                    if fetched:
+                        break
+                    # The missing line stalls even the first slot.
+                    break
+            uop = self._make_uop(record)
+            self.core.push_fetched(uop, cycle)
+            self._cursor += 1
+            fetched += 1
+            self.fetched += 1
+            if record.is_control:
+                correct = self.predictor.predict(record)
+                self.predictor.update(record)
+                if not correct:
+                    uop.predicted_wrong = True
+                    self._stall_on = uop
+                    break
+                if record.taken:
+                    # A correctly-predicted taken transfer still ends the
+                    # sequential fetch group (one taken branch per cycle).
+                    self._current_line = -1
+                    break
+        return fetched
+
+    def _make_uop(self, record: TraceRecord) -> Uop:
+        uop = Uop(record, self._next_uid)
+        self._next_uid += 1
+        return uop
+
+    def reset_to(self, seq: int) -> None:
+        """Rewind the fetch cursor to *seq* (used after a squash)."""
+        self._cursor = seq
+        self._stall_on = None
+        self._current_line = -1

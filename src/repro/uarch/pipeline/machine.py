@@ -1,0 +1,119 @@
+"""Single-core machine: one self-fetching out-of-order core.
+
+This is both the paper's single-core baseline and the runner the fused
+Core Fusion machine builds on (a fused machine is a single *wider*
+clustered core from the timing model's perspective).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...stats.result import SimResult
+from ...trace.record import TraceRecord
+from ..branch.btb import FrontEndPredictor
+from ..cache.hierarchy import CacheHierarchy
+from ..params import CoreParams
+from ..warmup import split_warmup, warm_state
+from .core import CycleCore
+from .fetch import SelfFetchUnit
+
+
+class SingleCoreMachine:
+    """One out-of-order core running one trace to completion.
+
+    Args:
+        params: Core configuration.
+        num_clusters / cross_cluster_latency / cluster_issue_width:
+            Clustering knobs forwarded to :class:`CycleCore` (used by the
+            Core Fusion machine; leave at defaults for a plain core).
+        machine_label: Name recorded in the :class:`SimResult`.
+        max_cycles: Safety valve — a run exceeding this raises rather
+            than spinning forever on a model bug.
+    """
+
+    def __init__(self, params: CoreParams,
+                 num_clusters: int = 1,
+                 cross_cluster_latency: int = 0,
+                 cluster_issue_width: Optional[int] = None,
+                 machine_label: str = "single",
+                 max_cycles: int = 200_000_000):
+        self.params = params
+        self.machine_label = machine_label
+        self.max_cycles = max_cycles
+        self.hierarchy = CacheHierarchy(params)
+        self.core = CycleCore(
+            params, self.hierarchy, name=machine_label,
+            num_clusters=num_clusters,
+            cross_cluster_latency=cross_cluster_latency,
+            cluster_issue_width=cluster_issue_width)
+        self.predictor = FrontEndPredictor(params.branch)
+
+    def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
+            warmup: int = 0) -> SimResult:
+        """Simulate *trace* to completion and return the result.
+
+        Args:
+            trace: The dynamic instruction stream.
+            workload: Name recorded in the result.
+            warmup: Number of leading instructions used to functionally
+                warm caches and the branch predictor; only the remainder
+                is timed (see :mod:`repro.uarch.warmup`).
+
+        Raises:
+            RuntimeError: if the run exceeds ``max_cycles`` (model bug) or
+                ends with instructions still in flight.
+        """
+        if not trace:
+            return SimResult(self.machine_label, self.params.name,
+                             workload, 0, 0)
+        if warmup:
+            prefix, trace = split_warmup(trace, warmup)
+            warm_state(prefix, self.hierarchy, self.predictor,
+                       line_bytes=self.params.l1i.line_bytes)
+        fetch = SelfFetchUnit(self.core, trace, self.predictor,
+                              line_bytes=self.params.l1i.line_bytes)
+        core = self.core
+        cycle = 0
+        committed = 0
+        total = len(trace)
+        while committed < total:
+            if cycle > self.max_cycles:
+                raise RuntimeError(
+                    f"{self.machine_label}: exceeded {self.max_cycles} "
+                    f"cycles with {committed}/{total} committed")
+            committed += len(core.phase_commit(cycle))
+            core.phase_complete(cycle)
+            core.phase_issue(cycle)
+            core.phase_dispatch(cycle)
+            fetch.phase_fetch(cycle)
+            cycle += 1
+        core.drain_check()
+        return SimResult(
+            machine=self.machine_label,
+            config=self.params.name,
+            workload=workload,
+            cycles=cycle,
+            instructions=committed,
+            extra={
+                "core": core.stats.as_dict(),
+                "branch": {
+                    "lookups": self.predictor.lookups,
+                    "mispredictions": self.predictor.mispredictions,
+                    "misprediction_rate": self.predictor.misprediction_rate,
+                },
+                "caches": self.hierarchy.stats(),
+                "fetch": {
+                    "fetched": fetch.fetched,
+                    "mispredict_stall_cycles": fetch.mispredict_stalls,
+                },
+            },
+        )
+
+
+def simulate_single_core(trace: Sequence[TraceRecord], params: CoreParams,
+                         workload: str = "trace",
+                         warmup: int = 0) -> SimResult:
+    """Convenience wrapper: build a fresh machine and run *trace*."""
+    return SingleCoreMachine(params).run(trace, workload=workload,
+                                         warmup=warmup)

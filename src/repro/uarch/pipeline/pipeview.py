@@ -1,0 +1,109 @@
+"""Text pipeline-timeline visualisation (gem5 o3pipeview-style).
+
+Collects per-uop stage timestamps during a run and renders an ASCII
+timeline: one row per dynamic instruction, one column per cycle, with
+stage markers
+
+* ``f`` fetch, ``d`` dispatch, ``i`` issue, ``c`` complete, ``r`` retire,
+* ``.`` in flight between stages, `` `` not in the pipeline.
+
+Intended for debugging and teaching — seeing exactly where a dependence
+chain serialises, where a mispredicted branch empties the front end, or
+how Fg-STP interleaves the two cores' commits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...isa.opcodes import OpClass
+from .uop import Uop
+
+
+class PipeviewCollector:
+    """Collects committed uops for later rendering.
+
+    Hook it into any machine via its cores' ``on_commit`` callback, or
+    use :func:`trace_single_core` for the common case.
+    """
+
+    def __init__(self, max_uops: int = 2000):
+        self.max_uops = max_uops
+        self.uops: List[Uop] = []
+
+    def on_commit(self, uop: Uop, _cycle: int) -> None:
+        if len(self.uops) < self.max_uops:
+            self.uops.append(uop)
+
+    def render(self, first: int = 0, count: int = 32,
+               width: int = 100) -> str:
+        """Render rows ``first .. first+count`` of the collected uops."""
+        rows = self.uops[first:first + count]
+        if not rows:
+            return "(no uops collected)"
+        origin = min(uop.fetch_cycle for uop in rows)
+        lines = [f"cycle origin: {origin}   "
+                 f"(f=fetch d=dispatch i=issue c=complete r=retire)"]
+        for uop in rows:
+            lines.append(render_uop_timeline(uop, origin, width))
+        return "\n".join(lines)
+
+
+def render_uop_timeline(uop: Uop, origin: int, width: int = 100) -> str:
+    """One uop's timeline row (see module docstring for the markers)."""
+    stages = [
+        ("f", uop.fetch_cycle),
+        ("d", uop.dispatch_cycle),
+        ("i", uop.issue_cycle),
+        ("c", uop.complete_cycle if uop.complete_cycle is not None else -1),
+        ("r", uop.commit_cycle),
+    ]
+    start = uop.fetch_cycle - origin
+    end = uop.commit_cycle - origin
+    cells = [" "] * min(max(end + 1, 1), width)
+    for position in range(start, min(end + 1, width)):
+        cells[position] = "."
+    for marker, cycle in stages:
+        if cycle is None or cycle < 0:
+            continue
+        position = cycle - origin
+        if 0 <= position < width:
+            cells[position] = marker
+    label = _uop_label(uop)
+    return f"{label:24s}|{''.join(cells)}"
+
+
+def _uop_label(uop: Uop) -> str:
+    record = uop.record
+    name = record.op_class.name.lower()
+    extra = ""
+    if record.op_class in (OpClass.LOAD, OpClass.STORE):
+        extra = f"@{record.mem_addr:#x}"
+    elif record.op_class is OpClass.BRANCH:
+        extra = "T" if record.taken else "N"
+    core = f"c{uop.core_id}" if uop.core_id else "c0"
+    replica = "*" if uop.replica else ""
+    return f"{uop.seq:5d} {core}{replica} {name}{extra}"
+
+
+def trace_single_core(trace: Sequence[Uop], params=None,
+                      max_uops: int = 2000):
+    """Run a trace on a single core while collecting pipeview data.
+
+    Args:
+        trace: A list of :class:`repro.trace.TraceRecord`.
+        params: Core configuration (defaults to the small config).
+        max_uops: Collection cap.
+
+    Returns:
+        ``(SimResult, PipeviewCollector)``.
+    """
+    from ..params import small_core_config
+    from .machine import SingleCoreMachine
+
+    params = params or small_core_config()
+    machine = SingleCoreMachine(params)
+    collector = PipeviewCollector(max_uops=max_uops)
+    machine.core.on_commit = collector.on_commit
+    result = machine.run(trace, workload="pipeview")
+    return result, collector

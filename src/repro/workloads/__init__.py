@@ -1,0 +1,35 @@
+"""Workloads: SPEC 2006-like synthetic suite + real assembly kernels."""
+
+from .generator import SyntheticWorkload, generate_trace
+from .kernels import KERNELS, run_kernel
+from .profiles import (
+    ALL_NAMES,
+    PROFILES,
+    SPEC_FP,
+    SPEC_FP_NAMES,
+    SPEC_INT,
+    SPEC_INT_NAMES,
+    WorkloadProfile,
+    get_profile,
+)
+from .suite import DEFAULT_CACHE, TraceCache, iter_suite, suite_names, workload_suite_of
+
+__all__ = [
+    "SyntheticWorkload",
+    "generate_trace",
+    "KERNELS",
+    "run_kernel",
+    "ALL_NAMES",
+    "PROFILES",
+    "SPEC_FP",
+    "SPEC_FP_NAMES",
+    "SPEC_INT",
+    "SPEC_INT_NAMES",
+    "WorkloadProfile",
+    "get_profile",
+    "DEFAULT_CACHE",
+    "TraceCache",
+    "iter_suite",
+    "suite_names",
+    "workload_suite_of",
+]

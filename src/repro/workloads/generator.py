@@ -1,0 +1,457 @@
+"""Synthetic trace generation from workload profiles.
+
+The generator builds a *static program skeleton* (basic blocks wired into
+loops) from a profile, then performs a stochastic walk over that skeleton
+emitting one :class:`repro.trace.TraceRecord` per dynamic instruction.
+The walk is driven by a seeded :class:`random.Random`, so traces are
+fully reproducible.
+
+What the skeleton gives us that naive i.i.d. sampling would not:
+
+* a **coherent PC stream** — branch predictors and the I-cache see
+  realistic static/dynamic locality, loops train the predictor, large
+  code footprints pressure the BTB/L1I exactly as the profile dictates;
+* **per-static-branch behaviour** — loop back-edges carry deterministic
+  trip counts (taken ``k`` times, then not taken once), guards are
+  heavily biased, and a profile-controlled fraction are data-dependent
+  coin flips — which together set the misprediction rate;
+* **per-static-memory-op streams** — each load/store site draws from a
+  calibrated region mixture (L1-hot / L2-warm / streaming / cold; see
+  :mod:`repro.workloads.profiles`), which sets L1/L2 miss rates, and
+  pointer-chase loads form serialised address chains (mcf-style).
+
+Register dependences are sampled per operand with a geometric distance
+distribution around the profile's ``mean_dep_distance`` — short distances
+produce serial chains (low ILP), long distances wide dataflow.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..isa.opcodes import OpClass
+from ..trace.record import TraceRecord
+from .profiles import WorkloadProfile, get_profile
+
+#: Destination register pools (flat architectural ids; r0/ABI regs and
+#: the induction/bound registers are excluded).
+_INT_DEST_POOL = list(range(1, 28))
+_FP_DEST_POOL = list(range(33, 60))
+
+#: Loop induction registers: serial `i = i + 1` chains threaded through
+#: every iteration and read by address computations and loop branches.
+#: These chains are exactly what Fg-STP's replication mechanism targets.
+_INDUCTION_REGS = (28, 29)
+#: Loop-bound register: read by loop branches, never written (live-in).
+_BOUND_REG = 30
+#: Probability a memory access's address reads the induction register.
+_ADDR_FROM_INDUCTION = 0.3
+
+#: Probability a (non-chase) load *reloads* a recently stored address —
+#: the spill/reload pattern that creates real store->load memory
+#: dependences inside the instruction window (what Fg-STP's dependence
+#: speculation exists for).
+_RELOAD_PROB = 0.10
+#: How far back a reload may reach into the recent-store history.
+_RELOAD_DEPTH = 12
+
+_WORD = 8
+_LINE = 64
+
+# Memory region layout (byte addresses).  Sizes are chosen relative to
+# the reference hierarchies: hot fits any L1, warm fits any L2 but no L1,
+# cold fits nothing, graph (pointer-chase) is around L2 capacity.
+_HOT_BASE, _HOT_SIZE = 0x0000_1000, 8 * 1024
+_WARM_BASE, _WARM_SIZE = 0x0010_0000, 64 * 1024
+_GRAPH_BASE, _GRAPH_SIZE = 0x0100_0000, 512 * 1024
+_COLD_BASE, _COLD_SIZE = 0x1000_0000, 64 * 1024 * 1024
+_STREAM_BASE, _STREAM_SPACING = 0x4000_0000, 16 * 1024 * 1024
+
+
+def _name_hash(name: str) -> int:
+    """Process-stable hash of a benchmark name (crc32)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def _split_pool(pool: List[int], parts: int) -> List[List[int]]:
+    """Split a register pool into *parts* disjoint, non-empty slices."""
+    size = max(1, len(pool) // parts)
+    slices = [pool[i * size:(i + 1) * size] for i in range(parts)]
+    slices[-1] = pool[(parts - 1) * size:]
+    return slices
+
+
+@dataclass
+class _Block:
+    """One basic block of the synthetic skeleton."""
+
+    pc: int
+    body: List[dict] = field(default_factory=list)  # instruction templates
+    branch: Optional[dict] = None                   # terminator descriptor
+    next_block: int = 0
+    taken_block: int = 0
+    induction: int = _INDUCTION_REGS[0]             # this block's loop counter
+
+
+class SyntheticWorkload:
+    """A generated skeleton ready to emit traces.
+
+    Build once per (profile, seed); call :meth:`trace` for a dynamic
+    stream of any length.  Equal calls yield identical traces.
+    """
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 1):
+        self.profile = profile
+        self.seed = seed
+        # zlib.crc32, not hash(): str hashing is randomised per process
+        # (PYTHONHASHSEED) and would break trace reproducibility.
+        rng = random.Random((_name_hash(profile.name)
+                             ^ (seed * 2654435761)) & 0xFFFFFFFF)
+        self._stream_count = 0
+        self._build_skeleton(rng)
+
+    # ------------------------------------------------------------------
+    # Skeleton construction
+    # ------------------------------------------------------------------
+
+    def _build_skeleton(self, rng: random.Random) -> None:
+        profile = self.profile
+        blocks: List[_Block] = []
+        pc = 0
+        # Body size targets the profile's dynamic branch fraction: one
+        # terminator branch per block of mean (1/frac_branch - 1) body
+        # instructions.  Low variance keeps the dynamic fraction close to
+        # target despite visit-frequency weighting.
+        mean_body = max(2.0, 1.0 / max(profile.frac_branch, 0.02) - 1.0)
+        for _ in range(profile.static_blocks):
+            size = max(2, int(round(rng.gauss(mean_body, 0.25 * mean_body))))
+            templates = self._block_templates(rng, size)
+            induction = rng.choice(_INDUCTION_REGS)
+            if size >= 3:
+                # One induction update per block: the serial i = i + 1
+                # chain every loop iteration advances (real loops always
+                # step their counter).  It replaces a *computation* slot
+                # so the memory/branch mix stays on target.
+                comp_offsets = [i for i, t in enumerate(templates)
+                                if t["kind"] == "comp"]
+                offset = (rng.choice(comp_offsets) if comp_offsets
+                          else rng.randrange(size))
+                templates[offset] = {"kind": "induction", "reg": induction}
+            block = _Block(pc=pc)
+            block.induction = induction
+            for offset, template in enumerate(templates):
+                template["pc"] = pc + offset
+                block.body.append(template)
+            pc += size
+            block.branch = self._make_branch(rng, pc)
+            pc += 1
+            blocks.append(block)
+
+        # Wire successors: fallthrough to the next block (wrapping); the
+        # taken edge is a short backward hop for loop back-edges and a
+        # random block for hard/guard branches.
+        n = len(blocks)
+        for index, block in enumerate(blocks):
+            block.next_block = (index + 1) % n
+            descriptor = block.branch
+            if descriptor["kind"] == "loop":
+                back = rng.randint(0, min(3, n - 1))
+                block.taken_block = (index - back) % n
+            else:
+                block.taken_block = rng.randrange(n)
+            descriptor["target_pc"] = blocks[block.taken_block].pc
+        self.blocks = blocks
+
+    def _block_templates(self, rng: random.Random, size: int) -> List[dict]:
+        """Stratified body composition: every block matches the target mix.
+
+        Loop-dominated walks make a handful of blocks dominate the
+        dynamic stream, so assigning kinds i.i.d. per site would let one
+        block's random composition define the whole trace's mix.  Quota
+        assignment with randomised rounding keeps each block individually
+        on target.
+        """
+        profile = self.profile
+        scale = 1.0 / max(1.0 - profile.frac_branch, 1e-6)
+
+        def quota(fraction: float) -> int:
+            exact = fraction * scale * size
+            base = int(exact)
+            return base + (1 if rng.random() < exact - base else 0)
+
+        # Memory sites are dual-role: whether one execution is a load or
+        # a store (and whether a load pointer-chases) is rolled per
+        # *dynamic* instance, so the dynamic mix stays on target even
+        # when a handful of loop blocks dominate the walk.
+        n_mem = min(quota(profile.frac_load + profile.frac_store), size)
+        templates: List[dict] = [self._mem_template(rng)
+                                 for _ in range(n_mem)]
+        while len(templates) < size:
+            templates.append(self._comp_template(rng))
+        rng.shuffle(templates)
+        return templates
+
+    def _comp_template(self, rng: random.Random) -> dict:
+        profile = self.profile
+        fp = rng.random() < profile.frac_fp_ops
+        sub = rng.random()
+        if sub < profile.frac_div:
+            op_class = OpClass.FDIV if fp else OpClass.IDIV
+        elif sub < profile.frac_div + profile.frac_mul:
+            op_class = OpClass.FMUL if fp else OpClass.IMUL
+        else:
+            op_class = OpClass.FADD if fp else OpClass.IALU
+        return {"kind": "comp", "op_class": op_class, "fp": fp,
+                "nsrcs": 2 if rng.random() < 0.75 else 1}
+
+    def _mem_template(self, rng: random.Random) -> dict:
+        """Create a memory site.
+
+        Each site carries a private sequential-stream cursor; on every
+        dynamic execution the access rolls load-vs-store, pointer-chase,
+        and the profile's region mixture (stream / warm / cold / hot).
+        Rolling dynamically rather than fixing behaviour per site keeps
+        the *dynamic* mixtures on target even when a handful of loop
+        blocks dominate the walk.
+        """
+        profile = self.profile
+        fp = profile.suite == "fp" and rng.random() < 0.7
+        # Stagger stream bases within their slot so concurrent streams do
+        # not all alias to the same cache sets.
+        stagger = rng.randrange(_STREAM_SPACING // 4 // _LINE) * _LINE
+        base = (_STREAM_BASE + self._stream_count * _STREAM_SPACING
+                + stagger)
+        self._stream_count += 1
+        stride = _WORD * rng.choice((1, 1, 1, 1, 2))
+        mem_total = profile.frac_load + profile.frac_store
+        return {"kind": "mem", "fp": fp,
+                "p_store": profile.frac_store / mem_total if mem_total
+                else 0.0,
+                # Spill/reload partner: this site always reloads the
+                # rank-th most recent store (PC-stable pairing, like
+                # real stack slots — what store-set predictors learn).
+                "reload_rank": rng.randint(1, _RELOAD_DEPTH),
+                "base": base, "span": _STREAM_SPACING // 2,
+                "stride": stride, "cursor": base}
+
+    def _make_branch(self, rng: random.Random, pc: int) -> dict:
+        profile = self.profile
+        roll = rng.random()
+        if roll < profile.frac_hard_branch:
+            return {"pc": pc, "kind": "hard",
+                    "taken_prob": rng.uniform(0.4, 0.6),
+                    "target_pc": 0}
+        if roll < profile.frac_hard_branch + 0.35:
+            # Guard: strongly biased not-taken, i.i.d.
+            return {"pc": pc, "kind": "guard",
+                    "taken_prob": rng.uniform(0.01, 0.08),
+                    "target_pc": 0}
+        # Loop back-edge with a (nearly) deterministic trip count.
+        mean = max(2, profile.loop_iterations)
+        trip = max(2, int(rng.gauss(mean, mean * 0.25)))
+        return {"pc": pc, "kind": "loop", "trip": trip, "count": 0,
+                "target_pc": 0}
+
+    # ------------------------------------------------------------------
+    # Dynamic walk
+    # ------------------------------------------------------------------
+
+    def trace(self, length: int) -> List[TraceRecord]:
+        """Emit a dynamic trace of exactly *length* instructions."""
+        if length <= 0:
+            return []
+        profile = self.profile
+        rng = random.Random(
+            (_name_hash(profile.name) * 31
+             + self.seed * 1013904223) & 0x7FFFFFFF)
+        records: List[TraceRecord] = []
+
+        # Reset per-site state so equal calls yield equal traces.
+        for block in self.blocks:
+            for template in block.body:
+                if template["kind"] == "mem":
+                    template["cursor"] = template["base"]
+            if block.branch["kind"] == "loop":
+                block.branch["count"] = 0
+
+        # Independent dependence strands: successive loop iterations
+        # rotate through strands, so iteration i+1's values do not (in
+        # the common case) depend on iteration i's — the fine-grain
+        # parallelism the paper's partitioner extracts.  Each strand owns
+        # a slice of the destination register pools.
+        strands = max(1, profile.strands)
+        int_slices = _split_pool(_INT_DEST_POOL, strands)
+        fp_slices = _split_pool(_FP_DEST_POOL, strands)
+        recent_int: List[List[int]] = [[] for _ in range(strands)]
+        recent_fp: List[List[int]] = [[] for _ in range(strands)]
+        recent_stores: List[int] = []   # addresses, for reload pairs
+        last_load_dst: Optional[int] = None
+        block_index = 0
+        iteration = 0
+        # Dependence distance within a strand: the stream interleaves
+        # `strands` strands, so a local distance d is a global distance
+        # of roughly d * strands.
+        local_mean = max(1.0, profile.mean_dep_distance / strands)
+        cross_strand = 0.08
+
+        def pick_src(strand: int, fp: bool) -> int:
+            if rng.random() < cross_strand and strands > 1:
+                strand = (strand + 1) % strands
+            recent = (recent_fp if fp else recent_int)[strand]
+            if not recent:
+                pool = (fp_slices if fp else int_slices)[strand]
+                return rng.choice(pool)
+            distance = int(rng.expovariate(1.0 / local_mean)) + 1
+            if distance > len(recent):
+                distance = len(recent)
+            return recent[-distance]
+
+        def pick_dest(strand: int, fp: bool) -> int:
+            pool = (fp_slices if fp else int_slices)[strand]
+            return rng.choice(pool)
+
+        def note_dest(strand: int, dst: int) -> None:
+            recent = (recent_int if dst < 32 else recent_fp)[strand]
+            recent.append(dst)
+            if len(recent) > 64:
+                del recent[:32]
+
+        while len(records) < length:
+            block = self.blocks[block_index]
+            strand = iteration % strands
+            for template in block.body:
+                if len(records) >= length:
+                    return records
+                record = self._emit(template, len(records), rng, strand,
+                                    pick_src, pick_dest, last_load_dst,
+                                    block.induction, recent_stores)
+                records.append(record)
+                if record.is_store:
+                    recent_stores.append(record.mem_addr)
+                    if len(recent_stores) > _RELOAD_DEPTH:
+                        del recent_stores[0]
+                if record.is_load:
+                    last_load_dst = record.dst
+                if record.dst is not None and record.dst < _INDUCTION_REGS[0]:
+                    note_dest(strand, record.dst)
+                elif record.dst is not None and record.dst >= 33:
+                    note_dest(strand, record.dst)
+            if len(records) >= length:
+                break
+            descriptor = block.branch
+            taken = self._branch_outcome(descriptor, rng)
+            # Loop branches compare the induction register against the
+            # loop bound (a live-in); other branches read strand values.
+            if descriptor["kind"] == "loop":
+                branch_srcs = (block.induction, _BOUND_REG)
+            else:
+                branch_srcs = (pick_src(strand, False),
+                               pick_src(strand, False))
+            records.append(TraceRecord(
+                seq=len(records), pc=descriptor["pc"],
+                op_class=OpClass.BRANCH, dst=None,
+                srcs=branch_srcs,
+                taken=taken,
+                target=descriptor["target_pc"] if taken else None))
+            if descriptor["kind"] == "loop":
+                iteration += 1
+            block_index = block.taken_block if taken else block.next_block
+        return records
+
+    @staticmethod
+    def _branch_outcome(descriptor: dict, rng: random.Random) -> bool:
+        if descriptor["kind"] == "loop":
+            descriptor["count"] += 1
+            if descriptor["count"] >= descriptor["trip"]:
+                descriptor["count"] = 0
+                return False
+            return True
+        return rng.random() < descriptor["taken_prob"]
+
+    def _emit(self, template: dict, seq: int, rng: random.Random,
+              strand: int, pick_src, pick_dest,
+              last_load_dst: Optional[int],
+              induction_reg: int,
+              recent_stores: List[int]) -> TraceRecord:
+        kind = template["kind"]
+        pc = template["pc"]
+        if kind == "induction":
+            reg = template["reg"]
+            return TraceRecord(seq, pc, OpClass.IALU, reg, (reg,))
+        if kind == "mem":
+            is_store = rng.random() < template["p_store"]
+            if not is_store and rng.random() < \
+                    self.profile.frac_pointer_chase:
+                # Serial pointer chain: the address register is the
+                # previous load's destination; addresses land in the
+                # graph region.  Chase chains deliberately cross strands
+                # — they are the serial backbone that limits partitioning
+                # (mcf-style).
+                if last_load_dst is not None:
+                    srcs = (last_load_dst,)
+                else:
+                    srcs = (pick_src(strand, False),)
+                addr = (_GRAPH_BASE
+                        + rng.randrange(_GRAPH_SIZE // _LINE) * _LINE)
+                return TraceRecord(seq, pc, OpClass.LOAD,
+                                   pick_dest(strand, False), srcs,
+                                   mem_addr=addr, mem_size=_WORD)
+            fp = template["fp"]
+            if not is_store and recent_stores \
+                    and rng.random() < _RELOAD_PROB:
+                # Spill/reload: read back the site's fixed-rank recent
+                # store (PC-stable pairing).
+                rank = min(template["reload_rank"], len(recent_stores))
+                addr = recent_stores[-rank]
+            else:
+                addr = self._next_addr(template, rng)
+            if rng.random() < _ADDR_FROM_INDUCTION:
+                addr_src = induction_reg
+            else:
+                addr_src = pick_src(strand, False)
+            if not is_store:
+                return TraceRecord(
+                    seq, pc, OpClass.LOAD, pick_dest(strand, fp),
+                    (addr_src,),
+                    mem_addr=addr, mem_size=_WORD)
+            return TraceRecord(
+                seq, pc, OpClass.STORE, None,
+                (addr_src, pick_src(strand, fp)),
+                mem_addr=addr, mem_size=_WORD)
+        # Computation.
+        fp = template["fp"]
+        srcs = tuple(pick_src(strand, fp)
+                     for _ in range(template["nsrcs"]))
+        return TraceRecord(seq, pc, template["op_class"],
+                           pick_dest(strand, fp), srcs)
+
+    def _next_addr(self, template: dict, rng: random.Random) -> int:
+        profile = self.profile
+        roll = rng.random()
+        if roll < profile.mem_stream:
+            addr = template["cursor"]
+            template["cursor"] += template["stride"]
+            if template["cursor"] >= template["base"] + template["span"]:
+                template["cursor"] = template["base"]
+            return addr
+        roll -= profile.mem_stream
+        if roll < profile.mem_warm:
+            base, span = _WARM_BASE, _WARM_SIZE
+        elif roll < profile.mem_warm + profile.mem_cold:
+            base, span = _COLD_BASE, _COLD_SIZE
+        else:
+            base, span = _HOT_BASE, _HOT_SIZE
+        return base + rng.randrange(span // _WORD) * _WORD
+
+
+def generate_trace(name: str, length: int,
+                   seed: int = 1) -> List[TraceRecord]:
+    """Generate a *length*-instruction trace for benchmark *name*.
+
+    Equal ``(name, length, seed)`` triples always return identical traces.
+    """
+    workload = SyntheticWorkload(get_profile(name), seed=seed)
+    return workload.trace(length)

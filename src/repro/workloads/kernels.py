@@ -1,0 +1,411 @@
+"""Real assembly kernels for examples and end-to-end tests.
+
+Unlike the statistical SPEC-like generators, these are genuine programs
+for the repro ISA, executed by the functional interpreter to produce
+traces with exact, verifiable semantics.  They give the examples concrete
+workloads whose answers can be checked (sums, dot products, list walks)
+while still exhibiting the behaviours the paper cares about (dependence
+chains, streaming loads, branchy control).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa.assembler import assemble
+from ..isa.interpreter import ExecutionResult, run_program
+from ..isa.program import Program
+
+
+def vector_sum_program(n: int = 1000) -> Program:
+    """Sum of ``0..n-1`` stored then re-loaded from memory (streaming)."""
+    source = f"""
+.name vector_sum
+.data {max(1 << 16, (n + 16) * 8)}
+    li   r1, 0          # i
+    li   r4, {n}        # n
+    li   r2, 64         # base pointer
+fill:
+    st   r1, 0(r2)
+    addi r2, r2, 8
+    addi r1, r1, 1
+    bne  r1, r4, fill
+    li   r1, 0
+    li   r2, 64
+    li   r3, 0          # sum
+acc:
+    ld   r7, 0(r2)
+    add  r3, r3, r7
+    addi r2, r2, 8
+    addi r1, r1, 1
+    bne  r1, r4, acc
+    halt
+"""
+    return assemble(source, name="vector_sum")
+
+
+def dot_product_program(n: int = 500) -> Program:
+    """FP dot product of two synthetic vectors (ILP-rich streaming)."""
+    source = f"""
+.name dot_product
+.data {max(1 << 16, (2 * n + 32) * 8)}
+    li   r1, 0
+    li   r4, {n}
+    li   r2, 64                 # a[]
+    li   r3, {64 + n * 8}       # b[]
+    fli  f1, 0                  # acc
+    fli  f4, 3                  # fill value a
+    fli  f5, 2                  # fill value b
+fill:
+    fst  f4, 0(r2)
+    fst  f5, 0(r3)
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r1, r1, 1
+    bne  r1, r4, fill
+    li   r1, 0
+    li   r2, 64
+    li   r3, {64 + n * 8}
+mul:
+    fld  f2, 0(r2)
+    fld  f3, 0(r3)
+    fmul f6, f2, f3
+    fadd f1, f1, f6
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r1, r1, 1
+    bne  r1, r4, mul
+    halt
+"""
+    return assemble(source, name="dot_product")
+
+
+def linked_list_program(nodes: int = 400, hops: int = 2000) -> Program:
+    """Pointer-chasing list walk (mcf-style serial loads).
+
+    Builds a circular linked list of *nodes* 16-byte cells (next pointer
+    + payload), then walks it for *hops* steps accumulating payloads.
+    The walk's address chain is fully serial: every load's address is the
+    previous load's result.
+    """
+    cell = 16
+    base = 64
+    source = f"""
+.name linked_list
+.data {max(1 << 16, base + (nodes + 4) * cell)}
+    li   r1, 0              # i
+    li   r4, {nodes}
+    li   r2, {base}         # cell pointer
+build:
+    addi r5, r2, {cell}     # next = this + cell
+    st   r5, 0(r2)          # cell.next
+    st   r1, 8(r2)          # cell.payload = i
+    mov  r2, r5
+    addi r1, r1, 1
+    bne  r1, r4, build
+    # Close the cycle: last cell.next = base.
+    addi r2, r2, {-cell}
+    li   r5, {base}
+    st   r5, 0(r2)
+    # Walk.
+    li   r1, 0
+    li   r4, {hops}
+    li   r2, {base}
+    li   r3, 0              # sum
+walk:
+    ld   r6, 8(r2)          # payload
+    add  r3, r3, r6
+    ld   r2, 0(r2)          # next (serial chain)
+    addi r1, r1, 1
+    bne  r1, r4, walk
+    halt
+"""
+    return assemble(source, name="linked_list")
+
+
+def branchy_search_program(n: int = 1500) -> Program:
+    """Data-dependent branching over a pseudo-random array (sjeng-style).
+
+    Fills an array with a linear-congruential sequence, then scans it
+    counting elements below a threshold — the comparison branch outcome
+    is effectively random, stressing the predictor.
+    """
+    source = f"""
+.name branchy_search
+.data {max(1 << 16, (n + 16) * 8)}
+    li   r1, 0
+    li   r4, {n}
+    li   r2, 64
+    li   r5, 12345          # lcg state
+    li   r6, 1103515245
+    li   r7, 12345
+fill:
+    mul  r5, r5, r6
+    add  r5, r5, r7
+    shri r8, r5, 16
+    andi r8, r8, 1023
+    st   r8, 0(r2)
+    addi r2, r2, 8
+    addi r1, r1, 1
+    bne  r1, r4, fill
+    li   r1, 0
+    li   r2, 64
+    li   r3, 0              # count
+    li   r9, 512            # threshold
+scan:
+    ld   r8, 0(r2)
+    bge  r8, r9, skip
+    addi r3, r3, 1
+skip:
+    addi r2, r2, 8
+    addi r1, r1, 1
+    bne  r1, r4, scan
+    halt
+"""
+    return assemble(source, name="branchy_search")
+
+
+def matmul_program(n: int = 12) -> Program:
+    """Naive n*n*n FP matrix multiply (nested loops, FP chains)."""
+    a_base = 64
+    b_base = a_base + n * n * 8
+    c_base = b_base + n * n * 8
+    source = f"""
+.name matmul
+.data {max(1 << 16, c_base + n * n * 8 + 64)}
+    # Fill A and B.
+    li   r1, 0
+    li   r4, {n * n}
+    li   r2, {a_base}
+    li   r3, {b_base}
+    fli  f4, 2
+    fli  f5, 3
+fill:
+    fst  f4, 0(r2)
+    fst  f5, 0(r3)
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r1, r1, 1
+    bne  r1, r4, fill
+    # Triple loop.
+    li   r10, 0             # i
+    li   r4, {n}
+iloop:
+    li   r11, 0             # j
+jloop:
+    fli  f1, 0              # acc
+    li   r12, 0             # k
+kloop:
+    # a[i*n+k]
+    mul  r5, r10, r4
+    add  r5, r5, r12
+    shli r5, r5, 3
+    addi r5, r5, {a_base}
+    fld  f2, 0(r5)
+    # b[k*n+j]
+    mul  r6, r12, r4
+    add  r6, r6, r11
+    shli r6, r6, 3
+    addi r6, r6, {b_base}
+    fld  f3, 0(r6)
+    fmul f6, f2, f3
+    fadd f1, f1, f6
+    addi r12, r12, 1
+    bne  r12, r4, kloop
+    # c[i*n+j] = acc
+    mul  r5, r10, r4
+    add  r5, r5, r11
+    shli r5, r5, 3
+    addi r5, r5, {c_base}
+    fst  f1, 0(r5)
+    addi r11, r11, 1
+    bne  r11, r4, jloop
+    addi r10, r10, 1
+    bne  r10, r4, iloop
+    halt
+"""
+    return assemble(source, name="matmul")
+
+
+def stencil_program(n: int = 600, sweeps: int = 3) -> Program:
+    """1-D 3-point FP stencil: ``b[i] = (a[i-1] + a[i] + a[i+1]) / 3``.
+
+    Streaming loads with short reuse distance and independent iterations
+    — the classic FP loop shape (leslie3d/zeusmp-like).
+    """
+    a_base = 64
+    b_base = a_base + (n + 2) * 8
+    source = f"""
+.name stencil
+.data {max(1 << 16, b_base + (n + 2) * 8 + 64)}
+    # Fill a[] with i (as doubles, via a running FP accumulator).
+    li   r1, 0
+    li   r4, {n + 2}
+    li   r2, {a_base}
+    fli  f1, 0
+    fli  f8, 1
+fill:
+    fst  f1, 0(r2)
+    fadd f1, f1, f8
+    addi r2, r2, 8
+    addi r1, r1, 1
+    bne  r1, r4, fill
+    li   r9, 0              # sweep counter
+    li   r10, {sweeps}
+    fli  f9, 3
+sweep:
+    li   r1, 1
+    li   r4, {n + 1}
+    li   r2, {a_base + 8}
+    li   r3, {b_base + 8}
+body:
+    fld  f1, -8(r2)
+    fld  f2, 0(r2)
+    fld  f3, 8(r2)
+    fadd f4, f1, f2
+    fadd f4, f4, f3
+    fdiv f5, f4, f9
+    fst  f5, 0(r3)
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r1, r1, 1
+    bne  r1, r4, body
+    addi r9, r9, 1
+    bne  r9, r10, sweep
+    halt
+"""
+    return assemble(source, name="stencil")
+
+
+def histogram_program(n: int = 1500, buckets: int = 64) -> Program:
+    """Histogram of a pseudo-random sequence (scattered read-modify-write).
+
+    The bucket increments are data-dependent loads+stores to a small hot
+    region — store->load dependences through memory at unpredictable
+    addresses, the pattern dependence speculation exists for.
+    """
+    hist_base = 64
+    source = f"""
+.name histogram
+.data {max(1 << 16, hist_base + buckets * 8 + 64)}
+    li   r1, 0
+    li   r4, {n}
+    li   r5, 12345          # lcg state
+    li   r6, 1103515245
+    li   r7, 12345
+    li   r9, {hist_base}
+loop:
+    mul  r5, r5, r6
+    add  r5, r5, r7
+    shri r8, r5, 16
+    andi r8, r8, {buckets - 1}
+    shli r8, r8, 3
+    add  r8, r8, r9         # &hist[bucket]
+    ld   r10, 0(r8)
+    addi r10, r10, 1
+    st   r10, 0(r8)         # read-modify-write
+    addi r1, r1, 1
+    bne  r1, r4, loop
+    # Sum the buckets into r3 for checking.
+    li   r1, 0
+    li   r4, {buckets}
+    li   r2, {hist_base}
+    li   r3, 0
+acc:
+    ld   r10, 0(r2)
+    add  r3, r3, r10
+    addi r2, r2, 8
+    addi r1, r1, 1
+    bne  r1, r4, acc
+    halt
+"""
+    return assemble(source, name="histogram")
+
+
+def binary_search_program(size: int = 1024, lookups: int = 300) -> Program:
+    """Repeated binary searches over a sorted array.
+
+    Data-dependent branches *and* data-dependent load addresses — the
+    access pattern that defeats both stride prefetchers and (partially)
+    branch predictors (astar/gobmk-like).
+    """
+    array_base = 64
+    source = f"""
+.name binary_search
+.data {max(1 << 16, array_base + size * 8 + 64)}
+    # Sorted array: a[i] = 2*i.
+    li   r1, 0
+    li   r4, {size}
+    li   r2, {array_base}
+fill:
+    add  r5, r1, r1
+    st   r5, 0(r2)
+    addi r2, r2, 8
+    addi r1, r1, 1
+    bne  r1, r4, fill
+    li   r9, 0              # lookup counter
+    li   r10, {lookups}
+    li   r5, 98765          # lcg state
+    li   r6, 1103515245
+    li   r7, 12345
+    li   r3, 0              # found counter
+search:
+    mul  r5, r5, r6
+    add  r5, r5, r7
+    shri r8, r5, 16
+    andi r8, r8, {2 * size - 1}   # target value
+    li   r11, 0             # lo
+    li   r12, {size}        # hi
+probe:
+    bge  r11, r12, miss
+    add  r13, r11, r12
+    shri r13, r13, 1        # mid
+    shli r14, r13, 3
+    addi r14, r14, {array_base}
+    ld   r15, 0(r14)        # a[mid]  (data-dependent address)
+    beq  r15, r8, hit
+    blt  r15, r8, go_right
+    mov  r12, r13           # hi = mid
+    jmp  probe
+go_right:
+    addi r11, r13, 1        # lo = mid + 1
+    jmp  probe
+hit:
+    addi r3, r3, 1
+miss:
+    addi r9, r9, 1
+    bne  r9, r10, search
+    halt
+"""
+    return assemble(source, name="binary_search")
+
+
+#: Kernel name -> builder (default arguments give sub-second traces).
+KERNELS = {
+    "vector_sum": vector_sum_program,
+    "dot_product": dot_product_program,
+    "linked_list": linked_list_program,
+    "branchy_search": branchy_search_program,
+    "matmul": matmul_program,
+    "stencil": stencil_program,
+    "histogram": histogram_program,
+    "binary_search": binary_search_program,
+}
+
+
+def run_kernel(name: str, **kwargs) -> ExecutionResult:
+    """Assemble and functionally execute kernel *name*.
+
+    Args:
+        name: One of :data:`KERNELS`.
+        **kwargs: Forwarded to the kernel's builder (sizes).
+
+    Raises:
+        KeyError: on an unknown kernel name.
+    """
+    try:
+        builder = KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {sorted(KERNELS)}") from None
+    return run_program(builder(**kwargs))

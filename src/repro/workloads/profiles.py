@@ -1,0 +1,309 @@
+"""SPEC CPU2006-like workload profiles.
+
+The paper evaluates Fg-STP on SPEC 2006, which we cannot redistribute or
+execute here.  Instead, each benchmark is represented by a
+:class:`WorkloadProfile` — a statistical characterisation (instruction
+mix, branch predictability, memory locality, dependence structure) that
+the synthetic generator (:mod:`repro.workloads.generator`) turns into a
+dynamic trace with the same *behavioural* properties.
+
+The numbers are calibrated from published SPEC 2006 characterisation
+studies.  They do not need to be exact: what drives the paper's results
+is the *relative* structure — pointer-chasers (mcf, omnetpp) are
+memory-latency bound with low ILP, media/bio codes (h264ref, hmmer) have
+large regular ILP, game engines (sjeng, gobmk) are mispredict-bound, FP
+codes stream with long independent chains — and that structure is what
+these profiles encode.
+
+Memory behaviour is specified as a mixture over four access regions,
+whose expected cache behaviour on the reference hierarchies is:
+
+* ``mem_warm``   — random in a 256 KiB region: L1D miss, L2 hit;
+* ``mem_stream`` — sequential walks of multi-MiB arrays: one miss per
+  64-byte line (~1/8 of accesses), those misses also miss L2;
+* ``mem_cold``   — random in a 64 MiB region: L1D and L2 miss;
+* the remainder  — random in an 8 KiB hot region: L1D hit.
+
+``frac_pointer_chase`` additionally converts that fraction of *loads*
+into serial chains (each address depends on the previous load's value),
+landing in a 2 MiB graph region (L1 miss, mixed L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical characterisation of one benchmark.
+
+    Attributes:
+        name: Benchmark name (SPEC 2006 naming).
+        suite: ``"int"`` or ``"fp"``.
+        frac_load / frac_store / frac_branch: Dynamic instruction mix;
+            the remainder is computation.
+        frac_fp_ops: Of the computation instructions, the fraction that
+            are floating point.
+        frac_mul: Of the computation instructions, the multiply fraction.
+        frac_div: Long-latency divide fraction of computation.
+        mean_dep_distance: Mean distance (dynamic instructions) between a
+            value's producer and its consumers — the ILP knob.
+        frac_hard_branch: Fraction of *static* branches whose outcome is
+            a data-dependent coin flip (the misprediction knob; the rest
+            are loop back-edges with deterministic trip counts and
+            strongly biased guards).
+        static_blocks: Static code footprint in basic blocks (I-cache /
+            BTB pressure knob).
+        block_size: Nominal instructions per basic block (informational;
+            actual block sizing is derived from ``frac_branch`` so the
+            dynamic mix hits its target).
+        mem_warm / mem_stream / mem_cold: Memory access region mixture
+            (see module docstring); the remainder is L1-hot.
+        frac_pointer_chase: Fraction of loads that walk serial pointer
+            chains in the graph region.
+        loop_iterations: Mean trip count of loop back-edges (taken-burst
+            length).
+        strands: Number of independent dependence strands the dynamic
+            stream interleaves (successive loop iterations rotate through
+            strands).  This is the *partitionability* knob: codes with
+            independent iterations (media kernels, streaming FP) have
+            many strands; pointer-chasers and game trees have few.
+    """
+
+    name: str
+    suite: str
+    frac_load: float
+    frac_store: float
+    frac_branch: float
+    frac_fp_ops: float
+    frac_mul: float
+    frac_div: float
+    mean_dep_distance: float
+    frac_hard_branch: float
+    static_blocks: int
+    block_size: int
+    mem_warm: float
+    mem_stream: float
+    mem_cold: float
+    frac_pointer_chase: float
+    loop_iterations: int
+    strands: int = 3
+
+    def __post_init__(self):
+        total = self.frac_load + self.frac_store + self.frac_branch
+        if total >= 1.0:
+            raise ValueError(
+                f"{self.name}: load+store+branch fractions sum to {total}")
+        for attr in ("frac_load", "frac_store", "frac_branch", "frac_fp_ops",
+                     "frac_mul", "frac_div", "frac_hard_branch",
+                     "mem_warm", "mem_stream", "mem_cold",
+                     "frac_pointer_chase"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {attr}={value} not in [0,1]")
+        if self.mem_warm + self.mem_stream + self.mem_cold > 1.0:
+            raise ValueError(f"{self.name}: memory region mixture exceeds 1")
+        if self.mean_dep_distance < 1.0:
+            raise ValueError(f"{self.name}: mean_dep_distance must be >= 1")
+        if self.loop_iterations < 2:
+            raise ValueError(f"{self.name}: loop_iterations must be >= 2")
+
+    @property
+    def expected_l1d_miss(self) -> float:
+        """Back-of-envelope L1D miss rate this profile aims for."""
+        return (self.mem_warm + self.mem_cold + self.mem_stream / 8.0
+                + self.frac_pointer_chase * self.frac_load * 0.9)
+
+
+#: SPECint 2006 profiles.
+SPEC_INT: List[WorkloadProfile] = [
+    WorkloadProfile(
+        name="perlbench", suite="int",
+        frac_load=0.24, frac_store=0.11, frac_branch=0.21,
+        frac_fp_ops=0.0, frac_mul=0.01, frac_div=0.002,
+        mean_dep_distance=6.0, frac_hard_branch=0.08,
+        static_blocks=900, block_size=5,
+        mem_warm=0.02, mem_stream=0.05, mem_cold=0.004,
+        frac_pointer_chase=0.04, loop_iterations=12, strands=3),
+    WorkloadProfile(
+        name="bzip2", suite="int",
+        frac_load=0.26, frac_store=0.09, frac_branch=0.15,
+        frac_fp_ops=0.0, frac_mul=0.01, frac_div=0.001,
+        mean_dep_distance=8.0, frac_hard_branch=0.13,
+        static_blocks=250, block_size=7,
+        mem_warm=0.03, mem_stream=0.15, mem_cold=0.004,
+        frac_pointer_chase=0.0, loop_iterations=30, strands=3),
+    WorkloadProfile(
+        name="gcc", suite="int",
+        frac_load=0.25, frac_store=0.13, frac_branch=0.20,
+        frac_fp_ops=0.0, frac_mul=0.01, frac_div=0.002,
+        mean_dep_distance=7.0, frac_hard_branch=0.09,
+        static_blocks=2200, block_size=5,
+        mem_warm=0.025, mem_stream=0.04, mem_cold=0.006,
+        frac_pointer_chase=0.05, loop_iterations=8, strands=3),
+    WorkloadProfile(
+        name="mcf", suite="int",
+        frac_load=0.31, frac_store=0.09, frac_branch=0.19,
+        frac_fp_ops=0.0, frac_mul=0.01, frac_div=0.0,
+        mean_dep_distance=3.2, frac_hard_branch=0.12,
+        static_blocks=120, block_size=5,
+        mem_warm=0.02, mem_stream=0.02, mem_cold=0.03,
+        frac_pointer_chase=0.35, loop_iterations=15, strands=2),
+    WorkloadProfile(
+        name="gobmk", suite="int",
+        frac_load=0.23, frac_store=0.12, frac_branch=0.19,
+        frac_fp_ops=0.0, frac_mul=0.01, frac_div=0.001,
+        mean_dep_distance=5.0, frac_hard_branch=0.20,
+        static_blocks=1400, block_size=5,
+        mem_warm=0.015, mem_stream=0.02, mem_cold=0.003,
+        frac_pointer_chase=0.02, loop_iterations=6, strands=2),
+    WorkloadProfile(
+        name="hmmer", suite="int",
+        frac_load=0.29, frac_store=0.13, frac_branch=0.08,
+        frac_fp_ops=0.0, frac_mul=0.04, frac_div=0.0,
+        mean_dep_distance=15.0, frac_hard_branch=0.03,
+        static_blocks=90, block_size=12,
+        mem_warm=0.01, mem_stream=0.08, mem_cold=0.001,
+        frac_pointer_chase=0.0, loop_iterations=80, strands=5),
+    WorkloadProfile(
+        name="sjeng", suite="int",
+        frac_load=0.21, frac_store=0.08, frac_branch=0.21,
+        frac_fp_ops=0.0, frac_mul=0.01, frac_div=0.001,
+        mean_dep_distance=5.0, frac_hard_branch=0.22,
+        static_blocks=700, block_size=5,
+        mem_warm=0.012, mem_stream=0.01, mem_cold=0.003,
+        frac_pointer_chase=0.01, loop_iterations=5, strands=2),
+    WorkloadProfile(
+        name="libquantum", suite="int",
+        frac_load=0.25, frac_store=0.10, frac_branch=0.17,
+        frac_fp_ops=0.0, frac_mul=0.02, frac_div=0.0,
+        mean_dep_distance=12.0, frac_hard_branch=0.015,
+        static_blocks=50, block_size=6,
+        mem_warm=0.01, mem_stream=0.70, mem_cold=0.005,
+        frac_pointer_chase=0.0, loop_iterations=200, strands=4),
+    WorkloadProfile(
+        name="h264ref", suite="int",
+        frac_load=0.33, frac_store=0.12, frac_branch=0.10,
+        frac_fp_ops=0.0, frac_mul=0.05, frac_div=0.002,
+        mean_dep_distance=12.0, frac_hard_branch=0.04,
+        static_blocks=500, block_size=9,
+        mem_warm=0.02, mem_stream=0.12, mem_cold=0.002,
+        frac_pointer_chase=0.0, loop_iterations=16, strands=5),
+    WorkloadProfile(
+        name="omnetpp", suite="int",
+        frac_load=0.29, frac_store=0.15, frac_branch=0.20,
+        frac_fp_ops=0.02, frac_mul=0.01, frac_div=0.002,
+        mean_dep_distance=4.5, frac_hard_branch=0.10,
+        static_blocks=1100, block_size=5,
+        mem_warm=0.03, mem_stream=0.02, mem_cold=0.02,
+        frac_pointer_chase=0.18, loop_iterations=7, strands=2),
+    WorkloadProfile(
+        name="astar", suite="int",
+        frac_load=0.28, frac_store=0.08, frac_branch=0.17,
+        frac_fp_ops=0.03, frac_mul=0.01, frac_div=0.001,
+        mean_dep_distance=4.0, frac_hard_branch=0.16,
+        static_blocks=220, block_size=5,
+        mem_warm=0.03, mem_stream=0.02, mem_cold=0.012,
+        frac_pointer_chase=0.12, loop_iterations=10, strands=2),
+    WorkloadProfile(
+        name="xalancbmk", suite="int",
+        frac_load=0.27, frac_store=0.10, frac_branch=0.22,
+        frac_fp_ops=0.0, frac_mul=0.01, frac_div=0.001,
+        mean_dep_distance=5.0, frac_hard_branch=0.08,
+        static_blocks=1800, block_size=4,
+        mem_warm=0.03, mem_stream=0.02, mem_cold=0.008,
+        frac_pointer_chase=0.08, loop_iterations=9, strands=3),
+]
+
+#: SPECfp 2006 profiles (the subset typically simulated).
+SPEC_FP: List[WorkloadProfile] = [
+    WorkloadProfile(
+        name="bwaves", suite="fp",
+        frac_load=0.33, frac_store=0.09, frac_branch=0.05,
+        frac_fp_ops=0.72, frac_mul=0.30, frac_div=0.01,
+        mean_dep_distance=16.0, frac_hard_branch=0.015,
+        static_blocks=60, block_size=18,
+        mem_warm=0.01, mem_stream=0.45, mem_cold=0.002,
+        frac_pointer_chase=0.0, loop_iterations=120, strands=5),
+    WorkloadProfile(
+        name="milc", suite="fp",
+        frac_load=0.34, frac_store=0.13, frac_branch=0.04,
+        frac_fp_ops=0.70, frac_mul=0.32, frac_div=0.005,
+        mean_dep_distance=10.0, frac_hard_branch=0.015,
+        static_blocks=90, block_size=14,
+        mem_warm=0.02, mem_stream=0.55, mem_cold=0.01,
+        frac_pointer_chase=0.0, loop_iterations=60, strands=4),
+    WorkloadProfile(
+        name="zeusmp", suite="fp",
+        frac_load=0.29, frac_store=0.10, frac_branch=0.05,
+        frac_fp_ops=0.68, frac_mul=0.28, frac_div=0.02,
+        mean_dep_distance=14.0, frac_hard_branch=0.02,
+        static_blocks=110, block_size=15,
+        mem_warm=0.02, mem_stream=0.30, mem_cold=0.003,
+        frac_pointer_chase=0.0, loop_iterations=90, strands=5),
+    WorkloadProfile(
+        name="gromacs", suite="fp",
+        frac_load=0.28, frac_store=0.11, frac_branch=0.08,
+        frac_fp_ops=0.65, frac_mul=0.27, frac_div=0.02,
+        mean_dep_distance=11.0, frac_hard_branch=0.04,
+        static_blocks=240, block_size=10,
+        mem_warm=0.02, mem_stream=0.12, mem_cold=0.002,
+        frac_pointer_chase=0.01, loop_iterations=40, strands=4),
+    WorkloadProfile(
+        name="leslie3d", suite="fp",
+        frac_load=0.31, frac_store=0.12, frac_branch=0.04,
+        frac_fp_ops=0.70, frac_mul=0.29, frac_div=0.01,
+        mean_dep_distance=15.0, frac_hard_branch=0.015,
+        static_blocks=80, block_size=16,
+        mem_warm=0.02, mem_stream=0.40, mem_cold=0.004,
+        frac_pointer_chase=0.0, loop_iterations=100, strands=5),
+    WorkloadProfile(
+        name="namd", suite="fp",
+        frac_load=0.27, frac_store=0.08, frac_branch=0.07,
+        frac_fp_ops=0.68, frac_mul=0.30, frac_div=0.015,
+        mean_dep_distance=13.0, frac_hard_branch=0.03,
+        static_blocks=160, block_size=11,
+        mem_warm=0.015, mem_stream=0.08, mem_cold=0.001,
+        frac_pointer_chase=0.0, loop_iterations=48, strands=4),
+    WorkloadProfile(
+        name="soplex", suite="fp",
+        frac_load=0.30, frac_store=0.09, frac_branch=0.14,
+        frac_fp_ops=0.45, frac_mul=0.18, frac_div=0.02,
+        mean_dep_distance=6.0, frac_hard_branch=0.09,
+        static_blocks=420, block_size=6,
+        mem_warm=0.03, mem_stream=0.10, mem_cold=0.01,
+        frac_pointer_chase=0.05, loop_iterations=14, strands=3),
+    WorkloadProfile(
+        name="lbm", suite="fp",
+        frac_load=0.29, frac_store=0.15, frac_branch=0.02,
+        frac_fp_ops=0.72, frac_mul=0.30, frac_div=0.01,
+        mean_dep_distance=18.0, frac_hard_branch=0.01,
+        static_blocks=30, block_size=24,
+        mem_warm=0.01, mem_stream=0.80, mem_cold=0.005,
+        frac_pointer_chase=0.0, loop_iterations=300, strands=6),
+]
+
+#: Every profile, keyed by name.
+PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile for profile in SPEC_INT + SPEC_FP
+}
+
+#: Names in canonical (paper-table) order.
+SPEC_INT_NAMES = [profile.name for profile in SPEC_INT]
+SPEC_FP_NAMES = [profile.name for profile in SPEC_FP]
+ALL_NAMES = SPEC_INT_NAMES + SPEC_FP_NAMES
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Profile for benchmark *name*.
+
+    Raises:
+        KeyError: with the list of known names on a typo.
+    """
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {ALL_NAMES}") from None

@@ -1,0 +1,65 @@
+"""Benchmark-suite registry: names, trace caching and suite iteration.
+
+Experiments run on the full suite; regenerating a trace per experiment is
+wasted work, so :class:`TraceCache` memoises generated traces within a
+process (keyed by name/length/seed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..trace.record import TraceRecord
+from .generator import generate_trace
+from .profiles import ALL_NAMES, SPEC_FP_NAMES, SPEC_INT_NAMES, get_profile
+
+
+class TraceCache:
+    """Process-wide memo of generated traces."""
+
+    def __init__(self):
+        self._traces: Dict[Tuple[str, int, int], List[TraceRecord]] = {}
+
+    def get(self, name: str, length: int, seed: int = 1) -> List[TraceRecord]:
+        """The (cached) trace for ``(name, length, seed)``."""
+        key = (name, length, seed)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = generate_trace(name, length, seed)
+            self._traces[key] = trace
+        return trace
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+
+#: Default shared cache used by the harness and benchmarks.
+DEFAULT_CACHE = TraceCache()
+
+
+def suite_names(suite: str = "all") -> List[str]:
+    """Benchmark names for ``"int"``, ``"fp"`` or ``"all"``.
+
+    Raises:
+        ValueError: on an unknown suite selector.
+    """
+    if suite == "int":
+        return list(SPEC_INT_NAMES)
+    if suite == "fp":
+        return list(SPEC_FP_NAMES)
+    if suite == "all":
+        return list(ALL_NAMES)
+    raise ValueError(f"unknown suite {suite!r}; use 'int', 'fp' or 'all'")
+
+
+def iter_suite(length: int, suite: str = "all", seed: int = 1,
+               cache: TraceCache = DEFAULT_CACHE
+               ) -> Iterator[Tuple[str, Sequence[TraceRecord]]]:
+    """Yield ``(name, trace)`` for every benchmark in *suite*."""
+    for name in suite_names(suite):
+        yield name, cache.get(name, length, seed)
+
+
+def workload_suite_of(name: str) -> str:
+    """``"int"`` or ``"fp"`` for benchmark *name*."""
+    return get_profile(name).suite

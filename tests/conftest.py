@@ -1,0 +1,66 @@
+"""Shared fixtures for the whole test suite.
+
+Traces and machine configurations are deliberately tiny: every test
+must be fast.  Integration tests that need realistic sizes scale up
+explicitly.
+"""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+from repro.uarch.params import medium_core_config, small_core_config
+
+
+@pytest.fixture
+def small_config():
+    return small_core_config()
+
+
+@pytest.fixture
+def medium_config():
+    return medium_core_config()
+
+
+def make_trace(specs):
+    """Build a trace from compact per-instruction spec tuples.
+
+    Each spec: ``(op_class, dst, srcs)`` for compute,
+    ``("load"/"store", dst_or_none, srcs, addr)`` for memory,
+    ``("branch", taken, target)`` for control.
+    """
+    records = []
+    for seq, spec in enumerate(specs):
+        kind = spec[0]
+        if kind == "load":
+            _, dst, srcs, addr = spec
+            records.append(TraceRecord(seq, seq, OpClass.LOAD, dst,
+                                       tuple(srcs), mem_addr=addr,
+                                       mem_size=8))
+        elif kind == "store":
+            _, srcs, addr = spec
+            records.append(TraceRecord(seq, seq, OpClass.STORE, None,
+                                       tuple(srcs), mem_addr=addr,
+                                       mem_size=8))
+        elif kind == "branch":
+            _, taken, target = spec
+            records.append(TraceRecord(seq, seq, OpClass.BRANCH, None,
+                                       (1, 2), taken=taken,
+                                       target=target if taken else None))
+        else:
+            op_class, dst, srcs = spec
+            records.append(TraceRecord(seq, seq, op_class, dst,
+                                       tuple(srcs)))
+    return records
+
+
+@pytest.fixture
+def linear_alu_trace():
+    """Ten independent single-cycle ALU ops (maximum ILP)."""
+    return make_trace([(OpClass.IALU, (i % 8) + 1, ()) for i in range(10)])
+
+
+@pytest.fixture
+def chain_trace():
+    """Ten serially dependent ALU ops (zero ILP)."""
+    return make_trace([(OpClass.IALU, 1, (1,)) for _ in range(10)])

@@ -1,0 +1,99 @@
+"""Tests for the Core Fusion baseline."""
+
+import pytest
+
+from repro.corefusion.machine import (
+    CoreFusionMachine,
+    default_crossbar_latency,
+    default_frontend_overhead,
+    default_lsq_penalty,
+    fused_params,
+    simulate_core_fusion,
+)
+from repro.uarch.params import medium_core_config, small_core_config
+from repro.uarch.pipeline.machine import simulate_single_core
+from repro.workloads.generator import generate_trace
+
+
+def test_fused_params_double_resources():
+    base = small_core_config()
+    fused = fused_params(base)
+    assert fused.fetch_width == 2 * base.fetch_width
+    assert fused.issue_width == 2 * base.issue_width
+    assert fused.rob_entries == 2 * base.rob_entries
+    assert fused.lsq_entries == 2 * base.lsq_entries
+    assert fused.l1d.size_bytes == 2 * base.l1d.size_bytes
+    for pool, count in base.fu_pool.items():
+        assert fused.fu_pool[pool] == 2 * count
+
+
+def test_fused_params_add_overheads():
+    base = small_core_config()
+    fused = fused_params(base)
+    assert fused.mispredict_penalty > base.mispredict_penalty
+    assert fused.l1d.hit_latency > base.l1d.hit_latency
+
+
+def test_default_overheads_scale_with_width():
+    small, medium = small_core_config(), medium_core_config()
+    assert default_frontend_overhead(medium) > \
+        default_frontend_overhead(small)
+    assert default_crossbar_latency(medium) >= \
+        default_crossbar_latency(small)
+    assert default_lsq_penalty(medium) >= default_lsq_penalty(small)
+
+
+def test_fusion_beats_single_on_ilp_rich_code():
+    trace = generate_trace("hmmer", 8000)
+    base = medium_core_config()
+    single = simulate_single_core(trace, base, warmup=3000)
+    fused = simulate_core_fusion(trace, base, warmup=3000)
+    assert fused.cycles < single.cycles
+
+
+def test_fusion_overhead_hurts_at_extreme_settings():
+    trace = generate_trace("sjeng", 6000)
+    base = medium_core_config()
+    cheap = simulate_core_fusion(trace, base, warmup=2000,
+                                 frontend_overhead=0)
+    costly = simulate_core_fusion(trace, base, warmup=2000,
+                                  frontend_overhead=30)
+    assert costly.cycles > cheap.cycles
+
+
+def test_crossbar_latency_hurts():
+    trace = generate_trace("gcc", 6000)
+    base = medium_core_config()
+    fast = simulate_core_fusion(trace, base, warmup=2000,
+                                operand_crossbar_latency=0)
+    slow = simulate_core_fusion(trace, base, warmup=2000,
+                                operand_crossbar_latency=10)
+    assert slow.cycles > fast.cycles
+
+
+def test_result_metadata():
+    trace = generate_trace("gcc", 1500)
+    base = small_core_config()
+    result = simulate_core_fusion(trace, base, workload="gcc")
+    assert result.machine == "corefusion"
+    assert result.config == "small"
+    assert result.instructions == 1500
+    fusion = result.extra["fusion"]
+    assert fusion["frontend_overhead"] == default_frontend_overhead(base)
+    assert fusion["operand_crossbar_latency"] == \
+        default_crossbar_latency(base)
+
+
+def test_deterministic():
+    trace = generate_trace("milc", 2000)
+    base = small_core_config()
+    a = simulate_core_fusion(trace, base)
+    b = simulate_core_fusion(trace, base)
+    assert a.cycles == b.cycles
+
+
+def test_machine_reuse_not_required():
+    machine = CoreFusionMachine(small_core_config())
+    trace = generate_trace("gcc", 800)
+    result = machine.run(trace)
+    assert result.instructions == 800

@@ -1,0 +1,42 @@
+"""Unit tests for Fg-STP parameters."""
+
+import pytest
+
+from repro.fgstp.params import DEFAULT_OP_WEIGHTS, FgStpParams
+from repro.isa.opcodes import OpClass
+
+
+def test_defaults_valid():
+    params = FgStpParams()
+    assert params.window_size >= params.batch_size
+    assert params.speculation and params.replication
+
+
+def test_with_replaces():
+    params = FgStpParams().with_(queue_latency=9)
+    assert params.queue_latency == 9
+    assert FgStpParams().queue_latency != 9
+
+
+def test_window_smaller_than_batch_rejected():
+    with pytest.raises(ValueError, match="window_size"):
+        FgStpParams(window_size=16, batch_size=64)
+
+
+def test_tiny_batch_rejected():
+    with pytest.raises(ValueError, match="batch_size"):
+        FgStpParams(batch_size=2, window_size=64)
+
+
+def test_queue_validation():
+    with pytest.raises(ValueError):
+        FgStpParams(queue_latency=0)
+    with pytest.raises(ValueError):
+        FgStpParams(queue_bandwidth=0)
+
+
+def test_weights_cover_all_classes():
+    for op_class in OpClass:
+        assert op_class in DEFAULT_OP_WEIGHTS
+    assert DEFAULT_OP_WEIGHTS[OpClass.IALU] < \
+        DEFAULT_OP_WEIGHTS[OpClass.FDIV]

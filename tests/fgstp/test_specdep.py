@@ -1,0 +1,66 @@
+"""Unit tests for the dependence-speculation predictor."""
+
+import pytest
+
+from repro.fgstp.specdep import DependencePredictor
+
+
+def test_speculates_by_default():
+    predictor = DependencePredictor()
+    assert not predictor.predicts_sync(0x100)
+    assert predictor.speculations == 1
+
+
+def test_violation_trains_sync():
+    predictor = DependencePredictor()
+    predictor.train_violation(0x100)
+    assert predictor.predicts_sync(0x100)
+    assert predictor.sync_predictions == 1
+    assert predictor.violations == 1
+
+
+def test_other_pcs_unaffected():
+    predictor = DependencePredictor()
+    predictor.train_violation(0x100)
+    assert not predictor.predicts_sync(0x200)
+
+
+def test_confidence_decays():
+    predictor = DependencePredictor(max_confidence=2)
+    predictor.train_violation(0x100)
+    predictor.train_unnecessary_sync(0x100)
+    assert predictor.predicts_sync(0x100)   # confidence 1 left
+    predictor.train_unnecessary_sync(0x100)
+    assert not predictor.predicts_sync(0x100)
+
+
+def test_decay_of_untracked_pc_is_noop():
+    predictor = DependencePredictor()
+    predictor.train_unnecessary_sync(0x999)
+    assert not predictor.predicts_sync(0x999)
+
+
+def test_violation_resaturates():
+    predictor = DependencePredictor(max_confidence=4)
+    predictor.train_violation(0x100)
+    for _ in range(3):
+        predictor.train_unnecessary_sync(0x100)
+    predictor.train_violation(0x100)
+    for _ in range(3):
+        predictor.train_unnecessary_sync(0x100)
+    assert predictor.predicts_sync(0x100)
+
+
+def test_stats_shape():
+    predictor = DependencePredictor()
+    predictor.train_violation(1)
+    predictor.predicts_sync(1)
+    predictor.predicts_sync(2)
+    stats = predictor.stats()
+    assert stats == {"violations": 1, "sync_predictions": 1,
+                     "speculations": 1, "tracked_pcs": 1}
+
+
+def test_invalid_confidence():
+    with pytest.raises(ValueError):
+        DependencePredictor(max_confidence=0)

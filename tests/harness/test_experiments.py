@@ -1,0 +1,96 @@
+"""Tests for the experiment registry (small sizes, structural checks)."""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiments import (
+    REGISTRY,
+    ExperimentReport,
+    run_experiment,
+)
+
+TINY = ExperimentConfig(trace_length=1500, warmup=500,
+                        benchmarks=["gcc", "hmmer"])
+
+
+def test_registry_covers_design_doc():
+    assert set(REGISTRY) == {f"E{i}" for i in range(1, 16)}
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("E99", TINY)
+
+
+def test_e1_structure():
+    report = run_experiment("E1", TINY)
+    assert report.experiment_id == "E1"
+    assert len(report.rows) == 2
+    assert "geomean_fgstp_speedup" in report.metrics
+    assert len(report.headers) == len(report.rows[0])
+    rendered = report.render()
+    assert "E1" in rendered and "gcc" in rendered
+
+
+def test_e2_uses_small_config():
+    report = run_experiment("E2", TINY)
+    assert "small" in report.title
+
+
+def test_e3_partition_rows():
+    report = run_experiment("E3", TINY)
+    for row in report.rows:
+        frac_core1 = row[1]
+        assert 0.0 <= frac_core1 <= 1.0
+
+
+def test_e4_sweep_axis():
+    report = run_experiment("E4", TINY)
+    assert [row[0] for row in report.rows] == [1, 2, 3, 5, 10, 20]
+    assert report.headers[0] == "queue_latency"
+
+
+def test_e5_window_axis():
+    report = run_experiment("E5", TINY)
+    assert [row[0] for row in report.rows] == [64, 128, 256, 512, 1024]
+
+
+def test_e6_metrics():
+    report = run_experiment("E6", TINY)
+    assert "geomean_speculation_gain" in report.metrics
+    assert report.metrics["geomean_speculation_gain"] > 0
+
+
+def test_e7_columns():
+    report = run_experiment("E7", TINY)
+    assert "replication_rate" in report.headers
+
+
+def test_e8_overhead_axis():
+    report = run_experiment("E8", TINY)
+    assert [row[0] for row in report.rows] == [0, 2, 4, 6, 8]
+
+
+def test_e9_bandwidth_axis():
+    report = run_experiment("E9", TINY)
+    assert [row[0] for row in report.rows] == [1, 2, 4]
+
+
+def test_e10_int_fp_rows():
+    config = TINY.with_(benchmarks=["gcc", "lbm"])
+    report = run_experiment("E10", config)
+    suites = {(row[0], row[1]) for row in report.rows}
+    assert ("medium", "int") in suites
+    assert ("medium", "fp") in suites
+
+
+def test_e11_adaptive():
+    report = run_experiment("E11", TINY)
+    assert "geomean_adaptive_gain" in report.metrics
+
+
+def test_render_includes_metrics():
+    report = ExperimentReport("EX", "t", ["a"], [[1.0]],
+                              metrics={"m": 1.5})
+    rendered = report.render()
+    assert "m = 1.500" in rendered

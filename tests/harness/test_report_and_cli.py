@@ -1,0 +1,57 @@
+"""Tests for markdown report generation and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiments import ExperimentReport
+from repro.harness.report import report_to_markdown, run_and_render
+
+TINY = ["--length", "1200", "--warmup", "400",
+        "--benchmarks", "gcc", "hmmer"]
+
+
+def test_report_to_markdown_structure():
+    report = ExperimentReport("E1", "title", ["a"], [[1.0]],
+                              metrics={"m": 2.0}, notes="a note")
+    text = report_to_markdown(report)
+    assert text.startswith("### E1 — title")
+    assert "```text" in text
+    assert "a note" in text
+
+
+def test_run_and_render_selected():
+    text = run_and_render(
+        ["E3"], ExperimentConfig(trace_length=1200, warmup=400,
+                                 benchmarks=["gcc"]))
+    assert "### E3" in text
+    assert "trace_length=1200" in text
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out and "mcf" in out
+
+
+def test_cli_run(capsys):
+    assert main(["run", "E3"] + TINY) == 0
+    out = capsys.readouterr().out
+    assert "E3" in out and "gcc" in out
+
+
+def test_cli_simulate(capsys):
+    assert main(["simulate", "gcc", "--config", "small",
+                 "--length", "1500", "--warmup", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "fgstp" in out and "speedup" in out
+
+
+def test_cli_simulate_unknown_benchmark(capsys):
+    assert main(["simulate", "nope", "--length", "1000",
+                 "--warmup", "100"]) == 2
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,104 @@
+"""Integration tests: whole pipelines from program text to results."""
+
+import pytest
+
+from repro.corefusion import simulate_core_fusion
+from repro.fgstp import FgStpParams, simulate_fgstp
+from repro.isa import assemble, run_program
+from repro.trace import read_trace, validate_trace, write_trace
+from repro.uarch import (
+    medium_core_config,
+    simulate_single_core,
+    small_core_config,
+)
+from repro.workloads import generate_trace, run_kernel
+
+
+def test_program_to_all_machines():
+    """Assemble -> interpret -> simulate on all three machines."""
+    execution = run_kernel("vector_sum", n=600)
+    trace = execution.trace
+    validate_trace(trace)
+    base = small_core_config()
+    single = simulate_single_core(trace, base, workload="vector_sum")
+    fusion = simulate_core_fusion(trace, base, workload="vector_sum")
+    fgstp = simulate_fgstp(trace, base, workload="vector_sum")
+    assert single.instructions == fusion.instructions \
+        == fgstp.instructions == len(trace)
+    for result in (single, fusion, fgstp):
+        assert 0 < result.ipc <= 2 * base.commit_width
+
+
+def test_trace_file_roundtrip_preserves_timing(tmp_path):
+    """A trace written to disk and reloaded simulates identically."""
+    trace = generate_trace("bzip2", 3000)
+    path = tmp_path / "bzip2.fgtr"
+    write_trace(trace, path)
+    reloaded = read_trace(path)
+    base = small_core_config()
+    assert simulate_single_core(trace, base).cycles \
+        == simulate_single_core(reloaded, base).cycles
+
+
+def test_same_trace_all_machines_commit_same_work():
+    trace = generate_trace("omnetpp", 4000)
+    base = medium_core_config()
+    results = [
+        simulate_single_core(trace, base, warmup=1000),
+        simulate_core_fusion(trace, base, warmup=1000),
+        simulate_fgstp(trace, base, warmup=1000),
+    ]
+    assert len({r.instructions for r in results}) == 1
+
+
+def test_two_core_schemes_beat_single_on_suite_subset():
+    """The headline shape: both 2-core schemes beat one core on average."""
+    base = medium_core_config()
+    wins_cf = wins_fg = total = 0
+    for name in ("hmmer", "libquantum", "gcc", "lbm", "milc"):
+        trace = generate_trace(name, 9000)
+        single = simulate_single_core(trace, base, warmup=3000)
+        fusion = simulate_core_fusion(trace, base, warmup=3000)
+        fgstp = simulate_fgstp(trace, base, warmup=3000)
+        total += 1
+        wins_cf += fusion.cycles < single.cycles
+        wins_fg += fgstp.cycles < single.cycles
+    assert wins_cf >= total - 1
+    assert wins_fg >= total - 1
+
+
+def test_fgstp_parameters_thread_through():
+    trace = generate_trace("gcc", 3000)
+    result = simulate_fgstp(trace, small_core_config(),
+                            FgStpParams(queue_latency=7, window_size=128,
+                                        batch_size=32))
+    params = result.extra["fgstp_params"]
+    assert params["queue_latency"] == 7
+    assert params["window_size"] == 128
+    assert params["batch_size"] == 32
+
+
+def test_custom_assembly_through_fgstp():
+    source = """
+.name custom
+    li   r1, 0
+    li   r4, 300
+    li   r2, 64
+    li   r5, 0
+    li   r6, 0
+loop:
+    st   r1, 0(r2)
+    ld   r7, 0(r2)
+    add  r5, r5, r7     # chain A
+    addi r6, r6, 3      # chain B (independent)
+    addi r2, r2, 8
+    addi r1, r1, 1
+    bne  r1, r4, loop
+    halt
+"""
+    execution = run_program(assemble(source))
+    assert execution.register("r5") == sum(range(300))
+    assert execution.register("r6") == 900
+    result = simulate_fgstp(execution.trace, small_core_config(),
+                            workload="custom")
+    assert result.instructions == len(execution.trace)

@@ -1,0 +1,139 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.errors import AssemblerError
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import LINK_REG
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("")
+
+
+def test_basic_rrr():
+    program = assemble("add r1, r2, r3\nhalt")
+    instr = program.instructions[0]
+    assert instr.name == "add"
+    assert instr.dst == 1
+    assert instr.srcs == (2, 3)
+
+
+def test_immediate_forms():
+    program = assemble("addi r1, r2, 42\nli r3, -7\nhalt")
+    assert program.instructions[0].imm == 42
+    assert program.instructions[1].imm == -7
+    assert program.instructions[1].srcs == ()
+
+
+def test_hex_immediates():
+    program = assemble("li r1, 0xff\nhalt")
+    assert program.instructions[0].imm == 255
+
+
+def test_memory_operands():
+    program = assemble("ld r1, 8(r2)\nst r3, -16(sp)\nhalt")
+    load = program.instructions[0]
+    assert load.dst == 1 and load.srcs == (2,) and load.imm == 8
+    store = program.instructions[1]
+    assert store.dst is None
+    assert store.srcs == (30, 3)  # (base, value)
+    assert store.imm == -16
+
+
+def test_labels_resolve():
+    program = assemble("""
+start:
+    addi r1, r1, 1
+    bne r1, r2, start
+    halt
+""")
+    branch = program.instructions[1]
+    assert branch.label is None
+    assert branch.imm == 0  # start
+
+
+def test_label_prefixing_instruction():
+    program = assemble("top: addi r1, r1, 1\njmp top\nhalt")
+    assert program.labels["top"] == 0
+    assert program.instructions[1].imm == 0
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("jmp nowhere\nhalt")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a:\na:\nhalt")
+
+
+def test_call_and_ret():
+    program = assemble("""
+    call fn
+    halt
+fn:
+    ret
+""")
+    call = program.instructions[0]
+    assert call.dst == LINK_REG
+    assert call.imm == 2
+    ret = program.instructions[2]
+    assert ret.srcs == (LINK_REG,)
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+# leading comment
+
+    li r1, 5   # trailing comment
+    halt
+""")
+    assert len(program.instructions) == 2
+
+
+def test_unknown_opcode_message_carries_line():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("li r1, 1\nfrobnicate r1\nhalt")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r2\nhalt")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError):
+        assemble("ld r1, r2\nhalt")
+
+
+def test_directives():
+    program = assemble("""
+.name mytest
+.data 4096
+.word 16 99
+    halt
+""")
+    assert program.name == "mytest"
+    assert program.data_size == 4096
+    assert program.data_init[16] == 99
+
+
+def test_unknown_directive():
+    with pytest.raises(AssemblerError):
+        assemble(".bogus 1\nhalt")
+
+
+def test_branch_op_class():
+    program = assemble("x: beq r1, r2, x\nhalt")
+    assert program.instructions[0].op_class is OpClass.BRANCH
+
+
+def test_mov_two_operands():
+    program = assemble("mov r1, r2\nhalt")
+    instr = program.instructions[0]
+    assert instr.dst == 1 and instr.srcs == (2,)

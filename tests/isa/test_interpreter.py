@@ -1,0 +1,166 @@
+"""Unit tests for the functional interpreter: control flow and traces."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.errors import ExecutionError
+from repro.isa.interpreter import Interpreter, run_program
+from repro.isa.opcodes import OpClass
+from repro.trace.record import validate_trace
+
+
+def run(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+def test_simple_loop_sums():
+    result = run("""
+    li r1, 0
+    li r2, 10
+    li r3, 0
+loop:
+    add r3, r3, r1
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+""")
+    assert result.register("r3") == 45
+
+
+def test_trace_is_valid_and_matches_length():
+    result = run("li r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt")
+    validate_trace(result.trace)
+    assert result.instruction_count == 4
+    assert result.register("r3") == 3
+
+
+def test_r0_stays_zero():
+    result = run("li r0, 99\nadd r1, r0, r0\nhalt")
+    assert result.register("r0") == 0
+    assert result.register("r1") == 0
+
+
+def test_memory_roundtrip():
+    result = run("""
+    li r1, 1234
+    li r2, 64
+    st r1, 0(r2)
+    ld r3, 0(r2)
+    halt
+""")
+    assert result.register("r3") == 1234
+
+
+def test_byte_memory():
+    result = run("""
+    li r1, 511
+    li r2, 64
+    stb r1, 0(r2)
+    ldb r3, 0(r2)
+    halt
+""")
+    assert result.register("r3") == 255  # truncated to one byte
+
+
+def test_fp_roundtrip():
+    result = run("""
+    fli f1, 3
+    fli f2, 4
+    fmul f3, f1, f2
+    li r2, 64
+    fst f3, 0(r2)
+    fld f4, 0(r2)
+    halt
+""")
+    assert result.register("f4") == pytest.approx(12.0)
+
+
+def test_call_ret_flow():
+    result = run("""
+    li r1, 5
+    call double
+    call double
+    halt
+double:
+    add r1, r1, r1
+    ret
+""")
+    assert result.register("r1") == 20
+
+
+def test_indirect_jump():
+    result = run("""
+    li r5, 3
+    jr r5
+    li r1, 111
+target:
+    li r1, 222
+    halt
+""")
+    assert result.register("r1") == 222
+
+
+def test_branch_records_target_and_taken():
+    result = run("""
+    li r1, 0
+    li r2, 2
+loop:
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+""")
+    branches = [r for r in result.trace if r.op_class is OpClass.BRANCH]
+    assert len(branches) == 2
+    assert branches[0].taken and branches[0].target == 2
+    assert not branches[1].taken and branches[1].target is None
+
+
+def test_data_init_via_word_directive():
+    result = run("""
+.word 128 777
+    li r2, 128
+    ld r1, 0(r2)
+    halt
+""")
+    assert result.register("r1") == 777
+
+
+def test_out_of_bounds_memory_raises():
+    with pytest.raises(ExecutionError):
+        run(".data 128\nli r2, 1000\nld r1, 0(r2)\nhalt")
+
+
+def test_negative_address_raises():
+    with pytest.raises(ExecutionError):
+        run("li r2, -8\nld r1, 0(r2)\nhalt")
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(ExecutionError):
+        run("li r1, 5\nli r2, 0\ndiv r3, r1, r2\nhalt")
+
+
+def test_instruction_budget_enforced():
+    source = "spin: jmp spin\nhalt"
+    with pytest.raises(ExecutionError):
+        Interpreter(max_instructions=100).run(assemble(source))
+
+
+def test_entry_label():
+    result = run_program(assemble("""
+main:
+    li r1, 1
+    halt
+alt:
+    li r1, 2
+    halt
+"""), entry="alt")
+    assert result.register("r1") == 2
+
+
+def test_mix_counts_classes():
+    result = run("li r1, 1\nli r2, 64\nst r1, 0(r2)\nld r3, 0(r2)\nhalt")
+    mix = result.mix()
+    assert mix[OpClass.LOAD] == 1
+    assert mix[OpClass.STORE] == 1
+    assert mix[OpClass.IALU] == 2

@@ -1,0 +1,116 @@
+"""Semantic tests for individual arithmetic operations."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+
+
+def compute(setup, op, check_reg="r3"):
+    program = assemble(f"{setup}\n{op}\nhalt")
+    return run_program(program).register(check_reg)
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("add", 7, 5, 12),
+    ("sub", 7, 5, 2),
+    ("and", 0b1100, 0b1010, 0b1000),
+    ("or", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("shl", 3, 2, 12),
+    ("shr", 12, 2, 3),
+    ("slt", 3, 5, 1),
+    ("slt", 5, 3, 0),
+    ("min", 4, 9, 4),
+    ("max", 4, 9, 9),
+    ("mul", 6, 7, 42),
+    ("div", 43, 6, 7),
+    ("rem", 43, 6, 1),
+])
+def test_binary_int_ops(op, a, b, expected):
+    assert compute(f"li r1, {a}\nli r2, {b}",
+                   f"{op} r3, r1, r2") == expected
+
+
+def test_signed_division_truncates_toward_zero():
+    assert compute("li r1, -7\nli r2, 2", "div r3, r1, r2") == -3
+    assert compute("li r1, -7\nli r2, 2", "rem r3, r1, r2") == -1
+
+
+def test_sar_arithmetic_shift():
+    assert compute("li r1, -8\nli r2, 1", "sar r3, r1, r2") == -4
+
+
+def test_shr_is_logical():
+    value = compute("li r1, -1\nli r2, 63", "shr r3, r1, r2")
+    assert value == 1
+
+
+def test_64bit_wraparound():
+    # (2^63 - 1) + 1 wraps to -(2^63).
+    value = compute(
+        "li r1, 0x7fffffffffffffff\nli r2, 1", "add r3, r1, r2")
+    assert value == -(1 << 63)
+
+
+def test_mulh_high_bits():
+    value = compute("li r1, 0x100000000\nli r2, 0x100000000",
+                    "mulh r3, r1, r2")
+    assert value == 1
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("fadd", 3, 4, 7.0),
+    ("fsub", 3, 4, -1.0),
+    ("fmul", 3, 4, 12.0),
+    ("fdiv", 12, 4, 3.0),
+    ("fmin", 3, 4, 3.0),
+    ("fmax", 3, 4, 4.0),
+])
+def test_binary_fp_ops(op, a, b, expected):
+    program = assemble(f"""
+    fli f1, {a}
+    fli f2, {b}
+    {op} f3, f1, f2
+    halt
+""")
+    assert run_program(program).register("f3") == pytest.approx(expected)
+
+
+def test_fsqrt():
+    program = assemble("fli f1, 16\nfsqrt f3, f1, f1\nhalt")
+    assert run_program(program).register("f3") == pytest.approx(4.0)
+
+
+def test_fmadd_accumulates_into_dest():
+    program = assemble("""
+    fli f1, 3
+    fli f2, 4
+    fli f3, 10
+    fmadd f3, f1, f2
+    halt
+""")
+    assert run_program(program).register("f3") == pytest.approx(22.0)
+
+
+@pytest.mark.parametrize("op,a,b,taken", [
+    ("beq", 5, 5, True), ("beq", 5, 6, False),
+    ("bne", 5, 6, True), ("bne", 5, 5, False),
+    ("blt", 4, 5, True), ("blt", 5, 4, False),
+    ("bge", 5, 4, True), ("bge", 4, 5, False),
+    ("blt", -1, 0, True),
+    ("bltu", -1, 0, False),  # -1 is huge unsigned
+    ("bgeu", -1, 0, True),
+])
+def test_branch_conditions(op, a, b, taken):
+    program = assemble(f"""
+    li r1, {a}
+    li r2, {b}
+    {op} r1, r2, yes
+    li r3, 0
+    halt
+yes:
+    li r3, 1
+    halt
+""")
+    assert run_program(program).register("r3") == (1 if taken else 0)

@@ -1,0 +1,75 @@
+"""Unit tests for the opcode table."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    OPCODES,
+    OpClass,
+    OperandShape,
+    is_opcode,
+    opcode_info,
+)
+
+
+def test_table_is_nonempty_and_closed():
+    assert len(OPCODES) > 30
+    for name, info in OPCODES.items():
+        assert info.name == name
+        assert isinstance(info.op_class, OpClass)
+        assert isinstance(info.shape, OperandShape)
+
+
+def test_core_opcodes_present():
+    for name in ("add", "addi", "li", "mul", "div", "fadd", "fmul",
+                 "fdiv", "ld", "st", "beq", "bne", "jmp", "call", "ret",
+                 "halt", "nop"):
+        assert is_opcode(name), name
+
+
+def test_opcode_info_lookup():
+    info = opcode_info("add")
+    assert info.op_class is OpClass.IALU
+    assert info.shape is OperandShape.RRR
+    assert not info.fp
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(KeyError):
+        opcode_info("not_an_opcode")
+
+
+def test_memory_classification():
+    assert opcode_info("ld").op_class.is_memory
+    assert opcode_info("st").op_class.is_memory
+    assert opcode_info("st").store
+    assert not opcode_info("ld").store
+    assert not opcode_info("add").op_class.is_memory
+
+
+def test_control_classification():
+    assert opcode_info("beq").is_branch
+    assert opcode_info("jmp").is_jump
+    assert opcode_info("beq").op_class.is_control
+    assert not opcode_info("add").op_class.is_control
+
+
+def test_fp_opcodes_marked():
+    for name in ("fadd", "fmul", "fdiv", "fld", "fst", "fli"):
+        assert opcode_info(name).fp, name
+    for name in ("add", "ld", "st", "mul"):
+        assert not opcode_info(name).fp, name
+
+
+def test_store_opcodes_consistent():
+    for name, info in OPCODES.items():
+        if info.store:
+            assert info.op_class is OpClass.STORE, name
+
+
+def test_opclass_values_stable():
+    # Trace serialisation depends on these staying fixed.
+    assert int(OpClass.IALU) == 0
+    assert int(OpClass.LOAD) == 6
+    assert int(OpClass.STORE) == 7
+    assert int(OpClass.BRANCH) == 8
+    assert int(OpClass.NOP) == 10

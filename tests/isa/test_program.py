@@ -1,0 +1,70 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.errors import ProgramError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import opcode_info
+from repro.isa.program import INSTRUCTION_BYTES, Program, find_label
+
+
+def test_byte_pc():
+    assert Program.byte_pc(0) == 0
+    assert Program.byte_pc(3) == 3 * INSTRUCTION_BYTES
+
+
+def test_label_index():
+    program = assemble("a:\nhalt")
+    assert program.label_index("a") == 0
+    with pytest.raises(ProgramError):
+        program.label_index("missing")
+
+
+def test_find_label():
+    program = assemble("a:\nhalt")
+    assert find_label(program, "a") == 0
+    assert find_label(program, "b") is None
+
+
+def test_validate_rejects_unresolved_label():
+    program = Program(instructions=[
+        Instruction(opcode_info("jmp"), None, (), 0, "somewhere"),
+    ])
+    with pytest.raises(ProgramError):
+        program.validate()
+
+
+def test_validate_rejects_out_of_range_target():
+    program = Program(instructions=[
+        Instruction(opcode_info("jmp"), None, (), 5, None),
+        Instruction(opcode_info("halt"), None, (), 0, None),
+    ])
+    with pytest.raises(ProgramError):
+        program.validate()
+
+
+def test_validate_rejects_empty():
+    with pytest.raises(ProgramError):
+        Program().validate()
+
+
+def test_resolve_labels_idempotent():
+    program = assemble("x: jmp x\nhalt")
+    before = list(program.instructions)
+    program.resolve_labels()
+    assert program.instructions == before
+
+
+def test_listing_contains_labels_and_instructions():
+    program = assemble("loop: addi r1, r1, 1\nbne r1, r2, loop\nhalt")
+    listing = program.listing()
+    assert "loop:" in listing
+    assert "addi" in listing
+    assert "halt" in listing
+
+
+def test_len_and_getitem():
+    program = assemble("li r1, 1\nhalt")
+    assert len(program) == 2
+    assert program[0].name == "li"

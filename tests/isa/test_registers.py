@@ -1,0 +1,69 @@
+"""Unit tests for register naming/numbering."""
+
+import pytest
+
+from repro.isa.errors import ProgramError
+from repro.isa.registers import (
+    LINK_REG,
+    NUM_ARCH_REGS,
+    NUM_INT_REGS,
+    STACK_REG,
+    ZERO_REG,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    parse_register,
+    register_name,
+)
+
+
+def test_int_reg_range():
+    assert int_reg(0) == 0
+    assert int_reg(31) == 31
+    with pytest.raises(ProgramError):
+        int_reg(32)
+    with pytest.raises(ProgramError):
+        int_reg(-1)
+
+
+def test_fp_reg_offset():
+    assert fp_reg(0) == NUM_INT_REGS
+    assert fp_reg(31) == NUM_ARCH_REGS - 1
+    with pytest.raises(ProgramError):
+        fp_reg(32)
+
+
+def test_is_fp_reg():
+    assert not is_fp_reg(0)
+    assert not is_fp_reg(31)
+    assert is_fp_reg(32)
+    assert is_fp_reg(63)
+    assert not is_fp_reg(64)
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("r0", 0), ("r5", 5), ("r31", 31),
+    ("f0", 32), ("f31", 63),
+    ("zero", ZERO_REG), ("ra", LINK_REG), ("sp", STACK_REG),
+    ("R7", 7), ("F2", 34),  # case-insensitive
+])
+def test_parse_register(name, expected):
+    assert parse_register(name) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "x1", "r", "r32", "f40", "reg1", "r-1"])
+def test_parse_register_rejects(bad):
+    with pytest.raises(ProgramError):
+        parse_register(bad)
+
+
+def test_register_name_roundtrip():
+    for reg_id in range(NUM_ARCH_REGS):
+        assert parse_register(register_name(reg_id)) == reg_id
+
+
+def test_register_name_out_of_range():
+    with pytest.raises(ProgramError):
+        register_name(NUM_ARCH_REGS)
+    with pytest.raises(ProgramError):
+        register_name(-1)

@@ -1,0 +1,63 @@
+"""Unit tests for aggregate statistics."""
+
+import math
+
+import pytest
+
+from repro.stats.aggregate import (
+    arith_mean,
+    geomean,
+    geomean_speedup,
+    relative_improvement,
+    speedups,
+)
+from repro.stats.result import SimResult
+
+
+def result(cycles, workload):
+    return SimResult("m", "c", workload, cycles, 1000)
+
+
+def test_geomean_basic():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([3.0]) == pytest.approx(3.0)
+    assert geomean([1.0] * 10) == pytest.approx(1.0)
+
+
+def test_geomean_errors():
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geomean([-1.0])
+
+
+def test_geomean_is_order_invariant():
+    values = [0.5, 2.0, 1.3, 0.9]
+    assert geomean(values) == pytest.approx(geomean(list(reversed(values))))
+
+
+def test_speedups_common_workloads_only():
+    new = {"a": result(500, "a"), "b": result(250, "b")}
+    old = {"a": result(1000, "a"), "c": result(100, "c")}
+    assert speedups(new, old) == {"a": 2.0}
+
+
+def test_geomean_speedup():
+    new = {"a": result(500, "a"), "b": result(500, "b")}
+    old = {"a": result(1000, "a"), "b": result(2000, "b")}
+    assert geomean_speedup(new, old) == pytest.approx(math.sqrt(8.0))
+
+
+def test_arith_mean():
+    assert arith_mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        arith_mean([])
+
+
+def test_relative_improvement():
+    assert relative_improvement(1.18, 1.0) == pytest.approx(0.18)
+    assert relative_improvement(0.9, 1.0) == pytest.approx(-0.1)
+    with pytest.raises(ValueError):
+        relative_improvement(1.0, 0.0)

@@ -1,0 +1,93 @@
+"""Unit tests for the activity-based energy model."""
+
+import pytest
+
+from repro.stats.energy import (
+    DEFAULT_ENERGY_WEIGHTS,
+    EnergyReport,
+    active_cores,
+    energy_of,
+)
+from repro.stats.result import SimResult
+from repro.uarch.params import small_core_config
+from repro.uarch.pipeline.machine import simulate_single_core
+from repro.fgstp.orchestrator import simulate_fgstp
+from repro.workloads.generator import generate_trace
+
+
+def single_result(cycles=1000, instructions=800):
+    return SimResult("single", "small", "w", cycles, instructions, extra={
+        "core": {"dispatched": instructions, "issued": instructions,
+                 "squashed_uops": 0},
+        "branch": {"lookups": 100},
+        "caches": {
+            "l1d": {"accesses": 200},
+            "l1i": {"accesses": 150},
+            "l2": {"accesses": 40, "misses": 10},
+        },
+    })
+
+
+def test_report_fields():
+    report = energy_of(single_result())
+    assert report.dynamic > 0
+    assert report.static > 0
+    assert report.total == report.dynamic + report.static
+    assert report.energy_per_instruction == pytest.approx(
+        report.total / 800)
+    assert report.energy_delay_product == pytest.approx(
+        report.total * 1000)
+
+
+def test_breakdown_matches_weights():
+    report = energy_of(single_result())
+    assert report.breakdown["commit"] == pytest.approx(
+        800 * DEFAULT_ENERGY_WEIGHTS["commit"])
+    assert report.breakdown["memory_access"] == pytest.approx(
+        10 * DEFAULT_ENERGY_WEIGHTS["memory_access"])
+
+
+def test_static_scales_with_active_cores():
+    single = single_result()
+    report_one = energy_of(single)
+    two_core = SimResult("fgstp", "small", "w", 1000, 800, extra={
+        "cores": [{"dispatched": 400, "issued": 400},
+                  {"dispatched": 400, "issued": 400}],
+        "branch": {"lookups": 100},
+        "queues": {}, "partition": {"assigned": 800},
+        "squashed_uops": 0,
+        "caches": {"core0": {}, "core1": {}},
+    })
+    report_two = energy_of(two_core)
+    assert report_two.static == pytest.approx(2 * report_one.static)
+
+
+def test_active_cores():
+    assert active_cores(single_result()) == 1
+    assert active_cores(SimResult("fgstp", "s", "w", 1, 1)) == 2
+    assert active_cores(SimResult("corefusion", "s", "w", 1, 1)) == 2
+
+
+def test_end_to_end_single_vs_fgstp():
+    """Fg-STP must cost more total energy on the same work (two cores),
+    while retiring the same instruction count."""
+    trace = generate_trace("gcc", 4000)
+    base = small_core_config()
+    single = simulate_single_core(trace, base, warmup=1000)
+    fgstp = simulate_fgstp(trace, base, warmup=1000)
+    e_single = energy_of(single)
+    e_fgstp = energy_of(fgstp)
+    assert e_fgstp.total > e_single.total
+    assert e_single.instructions == e_fgstp.instructions
+
+
+def test_empty_result():
+    report = energy_of(SimResult("single", "s", "w", 0, 0))
+    assert report.energy_per_instruction == 0.0
+    assert report.total == 0.0
+
+
+def test_custom_weights():
+    weights = dict(DEFAULT_ENERGY_WEIGHTS, commit=10.0)
+    report = energy_of(single_result(), weights=weights)
+    assert report.breakdown["commit"] == pytest.approx(8000.0)

@@ -1,0 +1,44 @@
+"""Unit tests for SimResult."""
+
+import pytest
+
+from repro.stats.result import SimResult
+
+
+def make(cycles, instructions=1000, workload="w", machine="m"):
+    return SimResult(machine, "small", workload, cycles, instructions)
+
+
+def test_ipc():
+    assert make(500).ipc == 2.0
+    assert make(0, instructions=0).ipc == 0.0
+
+
+def test_speedup_over():
+    fast, slow = make(500), make(1000)
+    assert fast.speedup_over(slow) == 2.0
+    assert slow.speedup_over(fast) == 0.5
+
+
+def test_speedup_requires_matching_workload():
+    with pytest.raises(ValueError, match="workload"):
+        make(500).speedup_over(make(1000, workload="other"))
+
+
+def test_speedup_requires_matching_instructions():
+    with pytest.raises(ValueError, match="instruction counts"):
+        make(500).speedup_over(make(1000, instructions=999))
+
+
+def test_speedup_rejects_zero_cycles():
+    with pytest.raises(ValueError, match="zero-cycle"):
+        make(0).speedup_over(make(1000))
+
+
+def test_as_dict():
+    result = make(500)
+    data = result.as_dict()
+    assert data["cycles"] == 500
+    assert data["ipc"] == 2.0
+    assert data["machine"] == "m"
+    assert data["extra"] == {}

@@ -1,0 +1,80 @@
+"""Tests for the JSON-lines result store."""
+
+import pytest
+
+from repro.stats.result import SimResult
+from repro.stats.store import ResultStore
+
+
+def result(machine, workload, cycles, instructions=1000, config="small"):
+    return SimResult(machine, config, workload, cycles, instructions)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "runs.jsonl")
+
+
+def test_append_and_iterate(store):
+    store.append(result("single", "gcc", 1000))
+    store.append(result("fgstp", "gcc", 800), tags={"rev": "abc"})
+    records = list(store)
+    assert len(records) == 2
+    assert records[1]["tags"]["rev"] == "abc"
+    assert records[0]["ipc"] == 1.0
+
+
+def test_empty_store(store):
+    assert list(store) == []
+    assert store.latest("single", "gcc") is None
+
+
+def test_query_filters(store):
+    store.append(result("single", "gcc", 1000))
+    store.append(result("single", "mcf", 3000))
+    store.append(result("fgstp", "gcc", 700), tags={"run": 1})
+    assert len(store.query(machine="single")) == 2
+    assert len(store.query(workload="gcc")) == 2
+    assert len(store.query(machine="fgstp", run=1)) == 1
+    assert store.query(machine="fgstp", run=2) == []
+
+
+def test_latest_returns_newest(store):
+    store.append(result("single", "gcc", 1000))
+    store.append(result("single", "gcc", 900))
+    assert store.latest("single", "gcc")["cycles"] == 900
+
+
+def test_compare(store):
+    store.append(result("single", "gcc", 1000))
+    store.append(result("fgstp", "gcc", 800))
+    store.append(result("single", "mcf", 4000))
+    store.append(result("fgstp", "mcf", 4000))
+    speedups = store.compare("fgstp", "single")
+    assert speedups["gcc"] == pytest.approx(1.25)
+    assert speedups["mcf"] == pytest.approx(1.0)
+
+
+def test_compare_skips_mismatched_work(store):
+    store.append(result("single", "gcc", 1000, instructions=500))
+    store.append(result("fgstp", "gcc", 800, instructions=999))
+    assert store.compare("fgstp", "single") == {}
+
+
+def test_corrupt_line_raises(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    path.write_text('{"ok": 1}\nnot json\n')
+    with pytest.raises(ValueError, match="corrupt"):
+        list(ResultStore(path))
+
+
+def test_roundtrip_with_real_simulation(store):
+    from repro.uarch.params import small_core_config
+    from repro.uarch.pipeline.machine import simulate_single_core
+    from repro.workloads.generator import generate_trace
+    trace = generate_trace("gcc", 800)
+    store.append(simulate_single_core(trace, small_core_config(),
+                                      workload="gcc"))
+    record = store.latest("single", "gcc")
+    assert record["instructions"] == 800
+    assert "caches" in record["extra"]

@@ -1,0 +1,45 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.stats.tables import format_cell, render_table
+
+
+def test_format_cell_types():
+    assert format_cell(1.23456, precision=2) == "1.23"
+    assert format_cell(7) == "7"
+    assert format_cell("x") == "x"
+    assert format_cell(True) == "yes"
+    assert format_cell(False) == "no"
+
+
+def test_render_alignment():
+    text = render_table(["name", "value"],
+                        [["a", 1.0], ["long-name", 22.5]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    # Columns align: "value" header column starts at the same offset in
+    # every row.
+    offset = lines[0].index("value")
+    assert lines[2][offset - 1] == " "
+
+
+def test_render_title():
+    text = render_table(["a"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError, match="row 0"):
+        render_table(["a", "b"], [[1]])
+
+
+def test_precision_applied():
+    text = render_table(["x"], [[1.23456]], precision=1)
+    assert "1.2" in text and "1.23" not in text
+
+
+def test_empty_rows_ok():
+    text = render_table(["a", "b"], [])
+    assert "a" in text

@@ -1,0 +1,93 @@
+"""Unit tests for TraceRecord and trace validation."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord, validate_trace
+
+
+def alu(seq, dst=1, srcs=()):
+    return TraceRecord(seq, seq, OpClass.IALU, dst, srcs)
+
+
+def test_record_properties():
+    load = TraceRecord(0, 10, OpClass.LOAD, 1, (2,), mem_addr=64,
+                       mem_size=8)
+    assert load.is_load and load.is_memory and not load.is_store
+    store = TraceRecord(1, 11, OpClass.STORE, None, (2, 3), mem_addr=64,
+                        mem_size=8)
+    assert store.is_store and store.is_memory
+    branch = TraceRecord(2, 12, OpClass.BRANCH, None, (1, 2), taken=True,
+                         target=5)
+    assert branch.is_branch and branch.is_control
+    jump = TraceRecord(3, 13, OpClass.JUMP, None, (), taken=True, target=0)
+    assert jump.is_jump and jump.is_control
+    assert not alu(4).is_control
+
+
+def test_equality_and_hash():
+    a = alu(0, 1, (2,))
+    b = alu(0, 1, (2,))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != alu(1, 1, (2,))
+    assert a != "not a record"
+
+
+def test_repr_mentions_class():
+    assert "IALU" in repr(alu(0))
+    load = TraceRecord(0, 1, OpClass.LOAD, 1, (2,), mem_addr=0x40,
+                       mem_size=8)
+    assert "0x40" in repr(load)
+
+
+def test_validate_accepts_well_formed():
+    validate_trace([
+        alu(0),
+        TraceRecord(1, 1, OpClass.LOAD, 2, (1,), mem_addr=8, mem_size=8),
+        TraceRecord(2, 2, OpClass.BRANCH, None, (1, 2), taken=True,
+                    target=0),
+        TraceRecord(3, 0, OpClass.BRANCH, None, (1, 2), taken=False),
+    ])
+
+
+def test_validate_rejects_sparse_seq():
+    with pytest.raises(ValueError, match="dense"):
+        validate_trace([alu(0), alu(2)])
+
+
+def test_validate_rejects_memory_without_address():
+    record = TraceRecord(0, 0, OpClass.LOAD, 1, (2,))
+    with pytest.raises(ValueError, match="without address"):
+        validate_trace([record])
+
+
+def test_validate_rejects_memory_without_size():
+    record = TraceRecord(0, 0, OpClass.LOAD, 1, (2,), mem_addr=8,
+                         mem_size=0)
+    with pytest.raises(ValueError, match="size"):
+        validate_trace([record])
+
+
+def test_validate_rejects_nonmemory_with_address():
+    record = TraceRecord(0, 0, OpClass.IALU, 1, (), mem_addr=8)
+    with pytest.raises(ValueError, match="non-memory"):
+        validate_trace([record])
+
+
+def test_validate_rejects_taken_without_target():
+    record = TraceRecord(0, 0, OpClass.BRANCH, None, (), taken=True)
+    with pytest.raises(ValueError, match="without target"):
+        validate_trace([record])
+
+
+def test_validate_rejects_noncontrol_taken():
+    record = TraceRecord(0, 0, OpClass.IALU, 1, (), taken=True, target=1)
+    with pytest.raises(ValueError, match="non-control"):
+        validate_trace([record])
+
+
+def test_validate_rejects_noncontrol_with_target():
+    record = TraceRecord(0, 0, OpClass.IALU, 1, (), target=3)
+    with pytest.raises(ValueError, match="non-control"):
+        validate_trace([record])

@@ -1,0 +1,112 @@
+"""Tests for trace transformation utilities."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import validate_trace
+from repro.trace.transform import (
+    concat,
+    drop_memory,
+    keep_classes,
+    map_records,
+    pc_region,
+    stats_preserving_shuffle_check,
+    window,
+)
+from repro.workloads.generator import generate_trace
+
+
+@pytest.fixture
+def trace():
+    return generate_trace("gcc", 2000)
+
+
+def test_window_is_valid_and_sized(trace):
+    piece = window(trace, 500, 300)
+    validate_trace(piece)
+    assert len(piece) == 300
+    assert piece[0].pc == trace[500].pc
+
+
+def test_window_past_end_truncates(trace):
+    piece = window(trace, len(trace) - 10, 100)
+    assert len(piece) == 10
+
+
+def test_window_validation(trace):
+    with pytest.raises(ValueError):
+        window(trace, -1, 10)
+    with pytest.raises(ValueError):
+        window(trace, 0, -5)
+
+
+def test_keep_classes_filters(trace):
+    loads_only = keep_classes(trace, [OpClass.LOAD])
+    validate_trace(loads_only)
+    assert loads_only
+    assert all(record.op_class is OpClass.LOAD for record in loads_only)
+
+
+def test_keep_classes_neutralises_branches(trace):
+    branches = keep_classes(trace, [OpClass.BRANCH])
+    validate_trace(branches)
+    assert all(not record.taken for record in branches)
+
+
+def test_drop_memory_preserves_dataflow(trace):
+    no_mem = drop_memory(trace)
+    validate_trace(no_mem)
+    assert len(no_mem) == len(trace)
+    assert not any(record.is_memory for record in no_mem)
+    for before, after in zip(trace, no_mem):
+        assert before.dst == after.dst
+        assert before.srcs == after.srcs
+
+
+def test_drop_memory_speeds_up_memory_bound_code():
+    from repro.uarch.params import small_core_config
+    from repro.uarch.pipeline.machine import simulate_single_core
+    trace = generate_trace("mcf", 4000)
+    real = simulate_single_core(trace, small_core_config())
+    perfect = simulate_single_core(drop_memory(trace),
+                                   small_core_config())
+    assert perfect.cycles < real.cycles
+
+
+def test_pc_region(trace):
+    lows = pc_region(trace, 0, 50)
+    validate_trace(lows)
+    assert all(record.pc < 50 for record in lows)
+    with pytest.raises(ValueError):
+        pc_region(trace, 10, 10)
+
+
+def test_concat(trace):
+    merged = concat(trace[:100], trace[:50])
+    validate_trace(window(merged, 0, len(merged)))
+    assert len(merged) == 150
+    assert merged[100].pc == trace[0].pc
+
+
+def test_map_records(trace):
+    from repro.trace.record import TraceRecord
+
+    def to_alu(record):
+        if record.op_class is OpClass.IMUL:
+            return TraceRecord(0, record.pc, OpClass.IALU, record.dst,
+                               record.srcs)
+        return record
+
+    mapped = map_records(trace, to_alu)
+    validate_trace(mapped)
+    assert not any(record.op_class is OpClass.IMUL for record in mapped)
+
+
+def test_fingerprint(trace):
+    fingerprint = stats_preserving_shuffle_check(trace)
+    assert fingerprint["total"] == len(trace)
+    assert sum(fingerprint["per_class"].values()) == len(trace)
+    # drop_memory keeps the total but changes classes.
+    after = stats_preserving_shuffle_check(drop_memory(trace))
+    assert after["total"] == fingerprint["total"]
+    assert OpClass.LOAD not in after["per_class"]

@@ -1,0 +1,137 @@
+"""Unit tests for the BTB, RAS and the front-end predictor wrapper."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+from repro.uarch.branch.btb import (
+    BranchTargetBuffer,
+    FrontEndPredictor,
+    ReturnAddressStack,
+)
+from repro.uarch.params import BranchPredictorParams
+
+
+def branch(seq, pc, taken, target=None):
+    return TraceRecord(seq, pc, OpClass.BRANCH, None, (1, 2),
+                       taken=taken, target=target if taken else None)
+
+
+def call(seq, pc, target):
+    return TraceRecord(seq, pc, OpClass.JUMP, 31, (), taken=True,
+                       target=target)
+
+
+def ret(seq, pc, target):
+    return TraceRecord(seq, pc, OpClass.JUMP, None, (31,), taken=True,
+                       target=target)
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64)
+        assert btb.lookup(10) is None
+        btb.install(10, 42)
+        assert btb.lookup(10) == 42
+
+    def test_aliasing_tag_check(self):
+        btb = BranchTargetBuffer(64)
+        btb.install(10, 42)
+        assert btb.lookup(10 + 64) is None  # same index, different tag
+
+    def test_replacement(self):
+        btb = BranchTargetBuffer(64)
+        btb.install(10, 42)
+        btb.install(10 + 64, 99)
+        assert btb.lookup(10) is None
+        assert btb.lookup(10 + 64) == 99
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(100)
+
+
+class TestRas:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+        assert ras.pop() is None
+
+    def test_overflow_wraps(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # evicts 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_len(self):
+        ras = ReturnAddressStack(4)
+        assert len(ras) == 0
+        ras.push(5)
+        assert len(ras) == 1
+
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+
+class TestFrontEndPredictor:
+    def make(self):
+        return FrontEndPredictor(BranchPredictorParams(
+            kind="bimodal", table_entries=256, btb_entries=64,
+            ras_entries=4))
+
+    def test_taken_branch_needs_btb(self):
+        frontend = self.make()
+        record = branch(0, 10, True, target=50)
+        # Counters start weakly-taken, but the BTB is cold: first
+        # prediction of a taken branch misses on the target.
+        assert frontend.predict(record) is False
+        frontend.update(record)
+        assert frontend.predict(record) is True
+
+    def test_not_taken_branch_needs_training(self):
+        frontend = self.make()
+        record = branch(0, 10, False)
+        frontend.predict(record)
+        for _ in range(3):
+            frontend.update(record)
+        assert frontend.predict(record) is True
+
+    def test_call_return_pair_uses_ras(self):
+        frontend = self.make()
+        # call at pc 5 -> fn at 100; return to 6.
+        assert frontend.predict(call(0, 5, 100)) is True
+        record = ret(1, 110, 6)
+        assert frontend.predict(record) is True
+
+    def test_return_to_wrong_address_detected(self):
+        frontend = self.make()
+        frontend.predict(call(0, 5, 100))
+        record = ret(1, 110, 999)  # longjmp-style
+        assert frontend.predict(record) is False
+
+    def test_direct_jump_always_correct(self):
+        frontend = self.make()
+        record = TraceRecord(0, 7, OpClass.JUMP, None, (), taken=True,
+                             target=3)
+        assert frontend.predict(record) is True
+
+    def test_misprediction_rate_counter(self):
+        frontend = self.make()
+        record = branch(0, 10, True, target=50)
+        frontend.predict(record)   # wrong (BTB cold)
+        frontend.update(record)
+        frontend.predict(record)   # right
+        assert frontend.lookups == 2
+        assert frontend.mispredictions == 1
+        assert frontend.misprediction_rate == pytest.approx(0.5)
+
+    def test_non_control_never_counted(self):
+        frontend = self.make()
+        assert frontend.misprediction_rate == 0.0

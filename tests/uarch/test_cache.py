@@ -1,0 +1,112 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.uarch.cache.cache import Cache, MainMemory
+from repro.uarch.params import CacheParams
+
+
+def make_cache(size=1024, assoc=2, line=64, hit=2, next_level=None):
+    return Cache(CacheParams(size_bytes=size, assoc=assoc,
+                             line_bytes=line, hit_latency=hit),
+                 next_level=next_level)
+
+
+def test_first_access_misses_then_hits():
+    cache = make_cache()
+    assert cache.access(0x100) == 2  # miss; no next level to charge
+    assert cache.stats.misses == 1
+    assert cache.access(0x100) == 2
+    assert cache.stats.hits == 1
+
+
+def test_line_granularity():
+    cache = make_cache(line=64)
+    cache.access(0x100)
+    assert cache.access(0x13F) == 2  # same 64-byte line
+    assert cache.stats.hits == 1
+    cache.access(0x140)  # next line: miss
+    assert cache.stats.misses == 2
+
+
+def test_miss_charges_next_level():
+    memory = MainMemory(latency=100)
+    cache = make_cache(hit=2, next_level=memory)
+    assert cache.access(0x100) == 102
+    assert cache.access(0x100) == 2
+
+
+def test_lru_replacement():
+    # 2-way cache with few sets: fill a set, touch the first way, then
+    # force an eviction — the untouched way must go.
+    cache = make_cache(size=256, assoc=2, line=64)  # 2 sets
+    sets = 2
+    line = 64
+    a, b, c = 0, sets * line, 2 * sets * line  # all map to set 0
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)       # a becomes MRU
+    cache.access(c)       # evicts b
+    cache.access(a)
+    assert cache.stats.hits == 2  # a twice
+    cache.access(b)       # must miss again
+    assert cache.stats.misses == 4
+
+
+def test_writeback_counted_for_dirty_victims():
+    cache = make_cache(size=256, assoc=2, line=64)
+    sets = 2
+    line = 64
+    a, b, c = 0, sets * line, 2 * sets * line
+    cache.access(a, is_write=True)   # dirty
+    cache.access(b)
+    cache.access(c)                  # evicts dirty a
+    assert cache.stats.writebacks == 1
+    cache.access(2 * sets * line + sets * line)  # evicts clean b... (d)
+    assert cache.stats.writebacks == 1
+
+
+def test_write_hit_marks_dirty():
+    cache = make_cache(size=256, assoc=2, line=64)
+    sets, line = 2, 64
+    a, b, c = 0, sets * line, 2 * sets * line
+    cache.access(a)                  # clean fill
+    cache.access(a, is_write=True)   # dirty via write hit
+    cache.access(b)
+    cache.access(c)                  # evicts a -> writeback
+    assert cache.stats.writebacks == 1
+
+
+def test_contains_has_no_side_effects():
+    cache = make_cache()
+    assert not cache.contains(0x100)
+    cache.access(0x100)
+    assert cache.contains(0x100)
+    assert cache.stats.accesses == 1
+
+
+def test_invalidate_all():
+    cache = make_cache()
+    cache.access(0x100)
+    cache.invalidate_all()
+    assert not cache.contains(0x100)
+
+
+def test_miss_rate():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.miss_rate == pytest.approx(1 / 3)
+
+
+def test_non_power_of_two_line_rejected():
+    with pytest.raises(ValueError):
+        Cache(CacheParams(size_bytes=1024, assoc=2, line_bytes=48))
+
+
+def test_main_memory_flat_latency():
+    memory = MainMemory(latency=150)
+    assert memory.access(0) == 150
+    assert memory.access(1 << 40) == 150
+    assert memory.stats.accesses == 2

@@ -1,0 +1,73 @@
+"""Tests for JSON configuration (de)serialisation."""
+
+import pytest
+
+from repro.fgstp.params import FgStpParams
+from repro.uarch.configio import (
+    core_params_from_dict,
+    core_params_to_dict,
+    fgstp_params_from_dict,
+    fgstp_params_to_dict,
+    load_core_params,
+    load_fgstp_params,
+    save_core_params,
+    save_fgstp_params,
+)
+from repro.uarch.params import medium_core_config, small_core_config
+
+
+@pytest.mark.parametrize("factory", [small_core_config,
+                                     medium_core_config])
+def test_core_roundtrip_dict(factory):
+    params = factory()
+    assert core_params_from_dict(core_params_to_dict(params)) == params
+
+
+def test_core_roundtrip_file(tmp_path):
+    path = tmp_path / "core.json"
+    params = medium_core_config()
+    save_core_params(params, path)
+    assert load_core_params(path) == params
+
+
+def test_core_file_is_editable_json(tmp_path):
+    import json
+    path = tmp_path / "core.json"
+    save_core_params(small_core_config(), path)
+    data = json.loads(path.read_text())
+    data["issue_width"] = 6
+    path.write_text(json.dumps(data))
+    assert load_core_params(path).issue_width == 6
+
+
+def test_core_missing_field_raises(tmp_path):
+    data = core_params_to_dict(small_core_config())
+    del data["rob_entries"]
+    with pytest.raises(KeyError):
+        core_params_from_dict(data)
+
+
+def test_core_bad_opclass_raises():
+    data = core_params_to_dict(small_core_config())
+    data["latencies"]["WARP"] = 1
+    with pytest.raises(KeyError):
+        core_params_from_dict(data)
+
+
+def test_fgstp_roundtrip_dict():
+    params = FgStpParams(queue_latency=7, speculation=False)
+    assert fgstp_params_from_dict(fgstp_params_to_dict(params)) == params
+
+
+def test_fgstp_roundtrip_file(tmp_path):
+    path = tmp_path / "fgstp.json"
+    params = FgStpParams(window_size=256, batch_size=32)
+    save_fgstp_params(params, path)
+    assert load_fgstp_params(path) == params
+
+
+def test_fgstp_validation_still_applies(tmp_path):
+    data = fgstp_params_to_dict(FgStpParams())
+    data["queue_latency"] = 0
+    with pytest.raises(ValueError):
+        fgstp_params_from_dict(data)

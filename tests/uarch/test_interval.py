@@ -1,0 +1,95 @@
+"""Tests for the interval-analysis analytical model."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+from repro.uarch.interval import (
+    IntervalEstimate,
+    estimate_cycles,
+    estimate_from_result,
+)
+from repro.uarch.params import medium_core_config, small_core_config
+from repro.uarch.pipeline.machine import simulate_single_core
+from repro.workloads.generator import generate_trace
+
+
+def wide_trace(n=400):
+    return [TraceRecord(i, i % 30, OpClass.IALU, (i % 8) + 1, ())
+            for i in range(n)]
+
+
+def serial_trace(n=400):
+    return [TraceRecord(i, i % 30, OpClass.IALU, 1, (1,))
+            for i in range(n)]
+
+
+def test_empty_trace():
+    estimate = estimate_cycles([], small_core_config(), 0.0, 0.0)
+    assert estimate.cycles == 0.0
+
+
+def test_wide_code_bounded_by_width():
+    params = small_core_config()
+    estimate = estimate_cycles(wide_trace(), params, 0.0, 0.0)
+    assert estimate.ipc == pytest.approx(params.issue_width, rel=0.01)
+
+
+def test_serial_code_bounded_by_chain():
+    estimate = estimate_cycles(serial_trace(), medium_core_config(),
+                               0.0, 0.0)
+    assert estimate.ipc == pytest.approx(1.0, rel=0.05)
+
+
+def test_branch_term_scales_with_mpki():
+    trace = wide_trace()
+    params = small_core_config()
+    low = estimate_cycles(trace, params, branch_mpki=1.0,
+                          l2_miss_per_kilo=0.0)
+    high = estimate_cycles(trace, params, branch_mpki=10.0,
+                           l2_miss_per_kilo=0.0)
+    assert high.cycles > low.cycles
+    assert high.components["branch"] == pytest.approx(
+        10 * low.components["branch"])
+
+
+def test_memory_term_scales_and_mlp_divides():
+    trace = wide_trace()
+    params = small_core_config()
+    base = estimate_cycles(trace, params, 0.0, l2_miss_per_kilo=5.0,
+                           memory_mlp=1.0)
+    overlapped = estimate_cycles(trace, params, 0.0,
+                                 l2_miss_per_kilo=5.0, memory_mlp=4.0)
+    assert overlapped.components["memory"] == pytest.approx(
+        base.components["memory"] / 4.0)
+
+
+def test_mlp_validation():
+    with pytest.raises(ValueError):
+        estimate_cycles(wide_trace(), small_core_config(), 0.0, 0.0,
+                        memory_mlp=0.0)
+
+
+def test_prediction_tracks_simulation_ordering():
+    """The analytical model must rank benchmarks like the simulator."""
+    params = medium_core_config()
+    predicted, measured = [], []
+    for name in ("hmmer", "mcf", "sjeng"):
+        trace = generate_trace(name, 8000)
+        result = simulate_single_core(trace, params, warmup=2500)
+        estimate = estimate_from_result(trace[2500:], params, result)
+        predicted.append(estimate.ipc)
+        measured.append(result.ipc)
+    pred_order = sorted(range(3), key=lambda i: predicted[i])
+    meas_order = sorted(range(3), key=lambda i: measured[i])
+    assert pred_order == meas_order
+
+
+def test_prediction_within_factor_of_simulation():
+    """First-order model: agree within ~2.5x on a realistic workload."""
+    params = medium_core_config()
+    trace = generate_trace("gcc", 8000)
+    result = simulate_single_core(trace, params, warmup=2500)
+    estimate = estimate_from_result(trace[2500:], params, result)
+    ratio = estimate.ipc / result.ipc
+    assert 0.4 < ratio < 2.5

@@ -1,0 +1,113 @@
+"""Unit/behaviour tests for the single-core machine."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+from repro.uarch.params import medium_core_config, small_core_config
+from repro.uarch.pipeline.machine import SingleCoreMachine, simulate_single_core
+from repro.workloads.generator import generate_trace
+from repro.workloads.kernels import run_kernel
+
+
+def test_empty_trace():
+    result = SingleCoreMachine(small_core_config()).run([])
+    assert result.cycles == 0 and result.instructions == 0
+
+
+def test_commits_everything():
+    trace = generate_trace("gcc", 2000)
+    result = simulate_single_core(trace, small_core_config(),
+                                  workload="gcc")
+    assert result.instructions == 2000
+    assert result.cycles > 0
+    assert result.machine == "single"
+    assert result.workload == "gcc"
+
+
+def test_ipc_bounded_by_width():
+    trace = generate_trace("hmmer", 3000)
+    small = simulate_single_core(trace, small_core_config())
+    assert 0 < small.ipc <= small_core_config().commit_width
+
+
+def test_medium_beats_small_on_ilp_rich_code():
+    trace = generate_trace("hmmer", 6000)
+    small = simulate_single_core(trace, small_core_config(), warmup=2000)
+    medium = simulate_single_core(trace, medium_core_config(),
+                                  warmup=2000)
+    assert medium.cycles < small.cycles
+
+
+def test_serial_chain_ipc_near_one():
+    """A pure dependency chain of 1-cycle ops cannot exceed IPC 1."""
+    trace = [TraceRecord(i, i % 50, OpClass.IALU, 1, (1,))
+             for i in range(500)]
+    result = simulate_single_core(trace, medium_core_config())
+    assert result.ipc <= 1.05
+
+
+def test_wide_independent_code_exceeds_ipc_one():
+    trace = [TraceRecord(i, i % 50, OpClass.IALU, (i % 8) + 1, ())
+             for i in range(800)]
+    # Warm-up absorbs the cold I-cache fill.
+    result = simulate_single_core(trace, medium_core_config(), warmup=200)
+    assert result.ipc > 1.5
+
+
+def test_memory_latency_hurts():
+    """The same instruction stream with DRAM-missing loads runs slower."""
+    hits = [TraceRecord(i, i % 20, OpClass.LOAD, (i % 8) + 1, (9,),
+                        mem_addr=0x100, mem_size=8)
+            for i in range(300)]
+    misses = [TraceRecord(i, i % 20, OpClass.LOAD, (i % 8) + 1, (9,),
+                          mem_addr=0x100000 + i * 4096, mem_size=8)
+              for i in range(300)]
+    fast = simulate_single_core(hits, small_core_config())
+    slow = simulate_single_core(misses, small_core_config())
+    assert slow.cycles > 2 * fast.cycles
+
+
+def test_warmup_reduces_compulsory_misses():
+    trace = generate_trace("gcc", 8000)
+    cold = simulate_single_core(trace[:4000], small_core_config())
+    warm = simulate_single_core(trace, small_core_config(), warmup=4000)
+    assert warm.extra["caches"]["l1d"]["miss_rate"] <= \
+        cold.extra["caches"]["l1d"]["miss_rate"] + 0.02
+
+
+def test_warmup_validation():
+    trace = generate_trace("gcc", 100)
+    with pytest.raises(ValueError):
+        simulate_single_core(trace, small_core_config(), warmup=100)
+    with pytest.raises(ValueError):
+        simulate_single_core(trace, small_core_config(), warmup=-1)
+
+
+def test_result_extra_sections():
+    trace = generate_trace("mcf", 1500)
+    result = simulate_single_core(trace, small_core_config())
+    assert result.extra["core"]["committed"] == 1500
+    assert "misprediction_rate" in result.extra["branch"]
+    assert "l1d" in result.extra["caches"]
+    assert result.extra["fetch"]["fetched"] == 1500
+
+
+def test_runs_real_kernel_trace():
+    execution = run_kernel("vector_sum", n=200)
+    result = simulate_single_core(execution.trace, small_core_config())
+    assert result.instructions == len(execution.trace)
+
+
+def test_max_cycles_guard():
+    trace = generate_trace("gcc", 500)
+    machine = SingleCoreMachine(small_core_config(), max_cycles=3)
+    with pytest.raises(RuntimeError, match="exceeded"):
+        machine.run(trace)
+
+
+def test_deterministic():
+    trace = generate_trace("sjeng", 2000)
+    a = simulate_single_core(trace, small_core_config())
+    b = simulate_single_core(trace, small_core_config())
+    assert a.cycles == b.cycles

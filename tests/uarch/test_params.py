@@ -1,0 +1,75 @@
+"""Unit tests for machine configurations."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.uarch.params import (
+    DEFAULT_LATENCIES,
+    FU_POOL_OF_CLASS,
+    BranchPredictorParams,
+    CacheParams,
+    CoreParams,
+    core_config,
+    medium_core_config,
+    small_core_config,
+)
+
+
+def test_reference_configs_shape():
+    small = small_core_config()
+    medium = medium_core_config()
+    assert small.fetch_width == 2 and medium.fetch_width == 4
+    assert small.rob_entries < medium.rob_entries
+    assert small.l2.size_bytes < medium.l2.size_bytes
+    assert small.name == "small" and medium.name == "medium"
+
+
+def test_core_config_lookup():
+    assert core_config("small").fetch_width == 2
+    assert core_config("medium").fetch_width == 4
+    with pytest.raises(KeyError, match="unknown config"):
+        core_config("huge")
+
+
+def test_cache_params_num_sets():
+    cache = CacheParams(size_bytes=32 * 1024, assoc=4, line_bytes=64)
+    assert cache.num_sets == 128
+
+
+def test_cache_params_invalid_geometry():
+    cache = CacheParams(size_bytes=64, assoc=4, line_bytes=64)
+    with pytest.raises(ValueError):
+        cache.num_sets
+
+
+def test_every_op_class_has_latency_and_pool():
+    for op_class in OpClass:
+        assert op_class in DEFAULT_LATENCIES
+        assert op_class in FU_POOL_OF_CLASS
+
+
+def test_with_replaces_fields():
+    base = small_core_config()
+    wider = base.with_(issue_width=6)
+    assert wider.issue_width == 6
+    assert wider.rob_entries == base.rob_entries
+    assert base.issue_width == 2  # original untouched
+
+
+def test_long_ops_slower_than_alu():
+    latencies = DEFAULT_LATENCIES
+    assert latencies[OpClass.IALU] < latencies[OpClass.IMUL]
+    assert latencies[OpClass.IMUL] < latencies[OpClass.IDIV]
+    assert latencies[OpClass.FADD] < latencies[OpClass.FDIV]
+
+
+def test_default_core_params_reasonable():
+    params = CoreParams()
+    assert params.rob_entries >= params.iq_entries
+    assert params.memory_latency > params.l2.hit_latency
+
+
+def test_branch_predictor_params_defaults():
+    params = BranchPredictorParams()
+    assert params.kind in ("bimodal", "gshare", "tournament")
+    assert params.table_entries > 0

@@ -1,0 +1,72 @@
+"""Tests for the perceptron branch predictor."""
+
+import random
+
+import pytest
+
+from repro.uarch.branch.predictors import (
+    GsharePredictor,
+    PerceptronPredictor,
+    make_direction_predictor,
+)
+from repro.uarch.params import BranchPredictorParams
+
+
+def accuracy(predictor, outcomes, pc=33, measure_from=0.5):
+    correct = 0
+    measured = 0
+    start = int(len(outcomes) * measure_from)
+    for index, taken in enumerate(outcomes):
+        if index >= start:
+            measured += 1
+            if predictor.predict(pc) == taken:
+                correct += 1
+        predictor.update(pc, taken)
+    return correct / measured
+
+
+def test_learns_biased_branch():
+    predictor = PerceptronPredictor(64, 16)
+    assert accuracy(predictor, [True] * 200) > 0.98
+
+
+def test_learns_alternation():
+    predictor = PerceptronPredictor(64, 16)
+    outcomes = [bool(i % 2) for i in range(400)]
+    assert accuracy(predictor, outcomes) > 0.95
+
+
+def test_learns_long_period_pattern():
+    """Period-12 loop: needs history longer than a short gshare's."""
+    predictor = PerceptronPredictor(64, 24)
+    outcomes = ([True] * 11 + [False]) * 40
+    assert accuracy(predictor, outcomes) > 0.9
+
+
+def test_random_branch_near_chance():
+    predictor = PerceptronPredictor(64, 16)
+    rng = random.Random(7)
+    outcomes = [rng.random() < 0.5 for _ in range(600)]
+    assert 0.3 < accuracy(predictor, outcomes) < 0.7
+
+
+def test_weights_saturate():
+    predictor = PerceptronPredictor(64, 8)
+    for _ in range(2000):
+        predictor.update(5, True)
+    weights = predictor._weights[5 & predictor._mask]
+    assert all(abs(weight) <= 127 for weight in weights)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PerceptronPredictor(100, 8)
+    with pytest.raises(ValueError):
+        PerceptronPredictor(64, 0)
+
+
+def test_factory_builds_perceptron():
+    params = BranchPredictorParams(kind="perceptron",
+                                   table_entries=4096, history_bits=16)
+    assert isinstance(make_direction_predictor(params),
+                      PerceptronPredictor)

@@ -1,0 +1,72 @@
+"""Tests for the pipeline-timeline visualiser."""
+
+from repro.isa import assemble, run_program
+from repro.uarch.params import small_core_config
+from repro.uarch.pipeline.pipeview import (
+    PipeviewCollector,
+    render_uop_timeline,
+    trace_single_core,
+)
+from repro.workloads.generator import generate_trace
+
+
+def run_collect(source):
+    execution = run_program(assemble(source))
+    return trace_single_core(execution.trace, small_core_config())
+
+
+def test_collects_all_committed_uops():
+    result, collector = run_collect("li r1, 1\nli r2, 2\nhalt")
+    assert len(collector.uops) == 3
+    assert [u.seq for u in collector.uops] == [0, 1, 2]
+
+
+def test_render_contains_stage_markers():
+    _, collector = run_collect("li r1, 1\naddi r1, r1, 1\nhalt")
+    text = collector.render()
+    for marker in "fdicr":
+        assert marker in text
+    assert "ialu" in text
+
+
+def test_render_row_order_matches_retirement():
+    _, collector = run_collect("li r1, 1\nli r2, 2\nli r3, 3\nhalt")
+    lines = collector.render().splitlines()[1:]
+    sequences = [int(line.split()[0]) for line in lines]
+    assert sequences == sorted(sequences)
+
+
+def test_serial_chain_issues_staggered():
+    _, collector = run_collect(
+        "li r1, 0\naddi r1, r1, 1\naddi r1, r1, 1\nhalt")
+    chain = collector.uops[1:3]
+    assert chain[1].issue_cycle > chain[0].issue_cycle
+
+
+def test_render_empty_collector():
+    collector = PipeviewCollector()
+    assert "no uops" in collector.render()
+
+
+def test_collection_cap():
+    trace = generate_trace("gcc", 500)
+    result, collector = trace_single_core(trace, small_core_config(),
+                                          max_uops=50)
+    assert result.instructions == 500
+    assert len(collector.uops) == 50
+
+
+def test_render_window_selection():
+    trace = generate_trace("gcc", 200)
+    _, collector = trace_single_core(trace, small_core_config())
+    text = collector.render(first=10, count=5)
+    lines = text.splitlines()[1:]
+    assert len(lines) == 5
+    assert lines[0].split()[0] == "10"
+
+
+def test_timeline_width_bounded():
+    trace = generate_trace("mcf", 300)
+    _, collector = trace_single_core(trace, small_core_config())
+    for line in collector.render(count=20, width=60).splitlines()[1:]:
+        assert len(line.split("|", 1)[1]) <= 60

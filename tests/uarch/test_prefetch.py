@@ -1,0 +1,91 @@
+"""Unit tests for the stride prefetcher."""
+
+import pytest
+
+from repro.uarch.cache.hierarchy import CacheHierarchy
+from repro.uarch.cache.prefetch import StridePrefetcher, attach_prefetcher
+from repro.uarch.params import small_core_config
+from repro.uarch.pipeline.machine import simulate_single_core
+from repro.workloads.generator import generate_trace
+
+
+def make_hierarchy():
+    return CacheHierarchy(small_core_config())
+
+
+def test_needs_three_accesses_to_arm():
+    hierarchy = make_hierarchy()
+    prefetcher = StridePrefetcher(degree=1)
+    assert prefetcher.observe(1, 0x1000, hierarchy) == 0   # first sight
+    assert prefetcher.observe(1, 0x1040, hierarchy) == 0   # stride seen
+    assert prefetcher.observe(1, 0x1080, hierarchy) == 0   # confidence 2?
+    issued_total = 0
+    for i in range(3, 8):
+        issued_total += prefetcher.observe(1, 0x1000 + 0x40 * i,
+                                           hierarchy)
+    assert issued_total > 0
+
+
+def test_armed_stream_prefetches_next_lines():
+    hierarchy = make_hierarchy()
+    prefetcher = StridePrefetcher(degree=2)
+    for i in range(6):
+        prefetcher.observe(7, 0x2000 + 64 * i, hierarchy)
+    # The lines ahead of the stream are now resident.
+    assert hierarchy.l1d.contains(0x2000 + 64 * 6)
+    assert hierarchy.l1d.contains(0x2000 + 64 * 7)
+
+
+def test_random_pcs_never_arm():
+    hierarchy = make_hierarchy()
+    prefetcher = StridePrefetcher(degree=2)
+    addresses = [0x1000, 0x9333, 0x2111, 0x7777, 0x100, 0x5050]
+    for addr in addresses:
+        prefetcher.observe(3, addr, hierarchy)
+    assert prefetcher.prefetches == 0
+
+
+def test_stride_change_resets_confidence():
+    hierarchy = make_hierarchy()
+    prefetcher = StridePrefetcher(degree=1)
+    for i in range(5):
+        prefetcher.observe(1, 0x1000 + 64 * i, hierarchy)
+    before = prefetcher.prefetches
+    prefetcher.observe(1, 0x9000, hierarchy)       # break the stream
+    assert prefetcher.observe(1, 0x9100, hierarchy) == 0  # not re-armed
+
+
+def test_table_capacity_bounded():
+    hierarchy = make_hierarchy()
+    prefetcher = StridePrefetcher(table_entries=8)
+    for pc in range(50):
+        prefetcher.observe(pc, 0x1000 * pc, hierarchy)
+    assert prefetcher.stats()["tracked_pcs"] <= 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StridePrefetcher(table_entries=0)
+    with pytest.raises(ValueError):
+        StridePrefetcher(degree=0)
+
+
+def test_attach_prefetcher_wraps_hierarchy():
+    hierarchy = make_hierarchy()
+    prefetcher = attach_prefetcher(hierarchy)
+    for i in range(8):
+        hierarchy.load(0x3000 + 64 * i, now=i)
+    assert prefetcher.prefetches > 0
+    assert hierarchy.prefetcher is prefetcher
+
+
+def test_prefetching_speeds_up_streaming_workload():
+    trace = generate_trace("lbm", 8000)
+    base = small_core_config()
+    plain = simulate_single_core(trace, base, warmup=2000)
+
+    from repro.uarch.pipeline.machine import SingleCoreMachine
+    machine = SingleCoreMachine(base)
+    attach_prefetcher(machine.hierarchy)
+    prefetched = machine.run(trace, workload="lbm", warmup=2000)
+    assert prefetched.cycles < plain.cycles

@@ -1,0 +1,84 @@
+"""Tests for the TAGE predictor."""
+
+import random
+
+import pytest
+
+from repro.uarch.branch.predictors import make_direction_predictor
+from repro.uarch.branch.tage import TagePredictor
+from repro.uarch.params import BranchPredictorParams
+
+
+def accuracy(predictor, outcomes, pc=0x40, measure_from=0.5):
+    correct = 0
+    measured = 0
+    start = int(len(outcomes) * measure_from)
+    for index, taken in enumerate(outcomes):
+        if index >= start:
+            measured += 1
+            if predictor.predict(pc) == taken:
+                correct += 1
+        predictor.update(pc, taken)
+    return correct / measured
+
+
+def test_biased_branch():
+    predictor = TagePredictor()
+    assert accuracy(predictor, [True] * 300) > 0.98
+    predictor = TagePredictor()
+    assert accuracy(predictor, [False] * 300) > 0.98
+
+
+def test_short_period_loop():
+    predictor = TagePredictor()
+    outcomes = ([True] * 3 + [False]) * 120
+    assert accuracy(predictor, outcomes) > 0.9
+
+
+def test_long_period_loop_beats_short_history_gshare():
+    """Period-40 loops need the long-history tagged tables."""
+    from repro.uarch.branch.predictors import GsharePredictor
+    outcomes = ([True] * 39 + [False]) * 40
+    tage = TagePredictor(max_history=64)
+    gshare = GsharePredictor(4096, 8)  # only 8 bits of history
+    assert accuracy(tage, outcomes) > accuracy(gshare, outcomes)
+
+
+def test_random_near_chance():
+    predictor = TagePredictor()
+    rng = random.Random(11)
+    outcomes = [rng.random() < 0.5 for _ in range(800)]
+    assert 0.3 < accuracy(predictor, outcomes) < 0.7
+
+
+def test_multiple_branches_coexist():
+    predictor = TagePredictor()
+    for _ in range(300):
+        predictor.update(0x10, True)
+        predictor.update(0x20, False)
+    assert predictor.predict(0x10) is True
+    assert predictor.predict(0x20) is False
+
+
+def test_history_lengths_geometric():
+    predictor = TagePredictor(num_tables=4, min_history=4,
+                              max_history=64)
+    lengths = predictor.history_lengths
+    assert lengths[0] == 4
+    assert lengths[-1] == 64
+    assert lengths == sorted(lengths)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TagePredictor(base_entries=100)
+    with pytest.raises(ValueError):
+        TagePredictor(num_tables=0)
+    with pytest.raises(ValueError):
+        TagePredictor(min_history=10, max_history=5)
+
+
+def test_factory_builds_tage():
+    params = BranchPredictorParams(kind="tage", table_entries=4096,
+                                   history_bits=12)
+    assert isinstance(make_direction_predictor(params), TagePredictor)

@@ -1,0 +1,69 @@
+"""Unit tests for functional warm-up helpers."""
+
+import pytest
+
+from repro.trace.record import validate_trace
+from repro.uarch.branch.btb import FrontEndPredictor
+from repro.uarch.cache.hierarchy import CacheHierarchy
+from repro.uarch.params import small_core_config
+from repro.uarch.warmup import reseq, split_warmup, warm_state
+from repro.workloads.generator import generate_trace
+
+
+def test_reseq_renumbers_densely():
+    trace = generate_trace("gcc", 100)
+    suffix = reseq(trace[40:])
+    validate_trace(suffix)
+    assert len(suffix) == 60
+    assert suffix[0].pc == trace[40].pc
+
+
+def test_split_warmup():
+    trace = generate_trace("gcc", 100)
+    prefix, suffix = split_warmup(trace, 30)
+    assert len(prefix) == 30 and len(suffix) == 70
+    assert suffix[0].seq == 0
+
+
+def test_split_warmup_zero():
+    trace = generate_trace("gcc", 10)
+    prefix, suffix = split_warmup(trace, 0)
+    assert prefix == [] and len(suffix) == 10
+
+
+def test_split_warmup_validation():
+    trace = generate_trace("gcc", 10)
+    with pytest.raises(ValueError):
+        split_warmup(trace, 10)
+    with pytest.raises(ValueError):
+        split_warmup(trace, -1)
+
+
+def test_warm_state_touches_caches():
+    config = small_core_config()
+    hierarchy = CacheHierarchy(config)
+    trace = generate_trace("gcc", 2000)
+    warm_state(trace, hierarchy, None)
+    # Stats were reset after warming, but content is resident.
+    assert hierarchy.l1d.stats.accesses == 0
+    resident = sum(
+        1 for record in trace[-200:]
+        if record.is_memory and hierarchy.l1d.contains(record.mem_addr))
+    assert resident > 0
+
+
+def test_warm_state_trains_predictor_and_resets_stats():
+    config = small_core_config()
+    predictor = FrontEndPredictor(config.branch)
+    trace = generate_trace("gcc", 2000)
+    warm_state(trace, None, predictor)
+    assert predictor.lookups == 0
+    assert predictor.mispredictions == 0
+    # The trained predictor should now do well on a repeat pass.
+    correct = 0
+    controls = [r for r in trace if r.is_control][:200]
+    for record in controls:
+        if predictor.predict(record):
+            correct += 1
+        predictor.update(record)
+    assert correct / len(controls) > 0.7

@@ -1,0 +1,92 @@
+"""Unit tests for workload profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.profiles import (
+    ALL_NAMES,
+    PROFILES,
+    SPEC_FP,
+    SPEC_FP_NAMES,
+    SPEC_INT,
+    SPEC_INT_NAMES,
+    WorkloadProfile,
+    get_profile,
+)
+
+
+def test_suite_sizes():
+    assert len(SPEC_INT) == 12
+    assert len(SPEC_FP) == 8
+    assert len(ALL_NAMES) == 20
+    assert set(ALL_NAMES) == set(PROFILES)
+
+
+def test_canonical_names_present():
+    for name in ("perlbench", "bzip2", "gcc", "mcf", "gobmk", "hmmer",
+                 "sjeng", "libquantum", "h264ref", "omnetpp", "astar",
+                 "xalancbmk"):
+        assert name in SPEC_INT_NAMES
+    for name in ("bwaves", "milc", "lbm", "namd", "soplex"):
+        assert name in SPEC_FP_NAMES
+
+
+def test_every_profile_is_internally_consistent():
+    for profile in PROFILES.values():
+        total = (profile.frac_load + profile.frac_store
+                 + profile.frac_branch)
+        assert total < 1.0, profile.name
+        assert profile.mem_warm + profile.mem_stream + profile.mem_cold \
+            <= 1.0, profile.name
+        assert profile.strands >= 1, profile.name
+        assert 0.0 < profile.expected_l1d_miss < 0.5, profile.name
+
+
+def test_suite_labels():
+    for profile in SPEC_INT:
+        assert profile.suite == "int"
+    for profile in SPEC_FP:
+        assert profile.suite == "fp"
+
+
+def test_get_profile_errors_on_unknown():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        get_profile("specfake")
+
+
+def test_relative_structure_preserved():
+    """The traits the paper's results hinge on must hold relatively."""
+    mcf = get_profile("mcf")
+    hmmer = get_profile("hmmer")
+    sjeng = get_profile("sjeng")
+    lbm = get_profile("lbm")
+    # Pointer-chaser vs ILP-rich.
+    assert mcf.frac_pointer_chase > hmmer.frac_pointer_chase
+    assert mcf.mean_dep_distance < hmmer.mean_dep_distance
+    assert mcf.strands < hmmer.strands
+    # Mispredict-bound vs streaming.
+    assert sjeng.frac_hard_branch > lbm.frac_hard_branch
+    assert lbm.mem_stream > sjeng.mem_stream
+    # FP codes have FP ops.
+    assert lbm.frac_fp_ops > 0.5
+    assert sjeng.frac_fp_ops == 0.0
+
+
+def test_validation_rejects_bad_mixes():
+    base = dataclasses.asdict(get_profile("bzip2"))
+    base.update(frac_load=0.6, frac_store=0.3, frac_branch=0.2)
+    with pytest.raises(ValueError):
+        WorkloadProfile(**base)
+    base = dataclasses.asdict(get_profile("bzip2"))
+    base.update(mem_warm=0.6, mem_stream=0.5)
+    with pytest.raises(ValueError):
+        WorkloadProfile(**base)
+    base = dataclasses.asdict(get_profile("bzip2"))
+    base.update(mean_dep_distance=0.5)
+    with pytest.raises(ValueError):
+        WorkloadProfile(**base)
+    base = dataclasses.asdict(get_profile("bzip2"))
+    base.update(loop_iterations=1)
+    with pytest.raises(ValueError):
+        WorkloadProfile(**base)

@@ -1,0 +1,54 @@
+"""Unit tests for the suite registry and trace cache."""
+
+import pytest
+
+from repro.workloads.suite import (
+    DEFAULT_CACHE,
+    TraceCache,
+    iter_suite,
+    suite_names,
+    workload_suite_of,
+)
+
+
+def test_suite_names_selectors():
+    assert len(suite_names("int")) == 12
+    assert len(suite_names("fp")) == 8
+    assert suite_names("all") == suite_names("int") + suite_names("fp")
+
+
+def test_suite_names_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown suite"):
+        suite_names("spec2017")
+
+
+def test_workload_suite_of():
+    assert workload_suite_of("mcf") == "int"
+    assert workload_suite_of("lbm") == "fp"
+
+
+def test_cache_returns_same_object():
+    cache = TraceCache()
+    a = cache.get("gcc", 500)
+    b = cache.get("gcc", 500)
+    assert a is b
+    assert cache.get("gcc", 500, seed=2) is not a
+    assert cache.get("gcc", 600) is not a
+
+
+def test_cache_clear():
+    cache = TraceCache()
+    a = cache.get("gcc", 500)
+    cache.clear()
+    assert cache.get("gcc", 500) is not a
+    assert cache.get("gcc", 500) == a  # but equal content
+
+
+def test_iter_suite_yields_all():
+    items = list(iter_suite(100, suite="fp", cache=TraceCache()))
+    assert [name for name, _ in items] == suite_names("fp")
+    assert all(len(trace) == 100 for _, trace in items)
+
+
+def test_default_cache_exists():
+    assert isinstance(DEFAULT_CACHE, TraceCache)

@@ -5,6 +5,8 @@ Commands:
 * ``list`` — show the registered experiments and benchmark suite.
 * ``run E1 [E4 ...]`` — run experiments and print their tables.
 * ``simulate <benchmark>`` — run one benchmark on all three machines.
+* ``sweep`` — fan a benchmark × seed × machine × config matrix across
+  worker processes (disk-backed cache, retries, progress metrics).
 * ``report`` — emit the full markdown experiment report (stdout).
 * ``validate`` — run the cross-model invariant battery.
 """
@@ -12,13 +14,17 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .corefusion.machine import simulate_core_fusion
 from .fgstp.orchestrator import simulate_fgstp
 from .harness.config import ExperimentConfig
 from .harness.experiments import REGISTRY, run_experiment
-from .harness.report import run_and_render
+from .harness.parallel import ExperimentEngine, matrix_jobs
+from .harness.report import run_and_render, sweep_to_text
+from .harness.runners import MACHINES
+from .stats.store import ResultStore
 from .stats.tables import render_table
 from .uarch.params import core_config
 from .uarch.pipeline.machine import simulate_single_core
@@ -89,6 +95,36 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    benchmarks = args.benchmarks or suite_names("all")
+    unknown = [name for name in benchmarks if name not in PROFILES]
+    if unknown:
+        print(f"unknown benchmarks {unknown}; see `list`", file=sys.stderr)
+        return 2
+
+    def progress(event, message):
+        if not args.quiet:
+            print(f"[{event}] {message}", file=sys.stderr)
+
+    engine = ExperimentEngine(
+        max_workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress)
+    jobs = matrix_jobs(benchmarks=benchmarks, seeds=args.seeds,
+                       machines=args.machines, configs=args.configs,
+                       trace_length=args.length, warmup=args.warmup)
+    outcome = engine.run(jobs)
+    print(sweep_to_text(outcome))
+    if args.store:
+        store = ResultStore(args.store)
+        store.append_many(
+            (result for result in outcome.results if result is not None),
+            tags={"source": "sweep"})
+    return 1 if outcome.failures else 0
+
+
 def cmd_report(args) -> int:
     print(run_and_render(config=_config(args)))
     return 0
@@ -129,6 +165,37 @@ def main(argv=None) -> int:
                             choices=("small", "medium"))
     _add_sizing(sim_parser)
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="parallel benchmark × seed × machine sweep")
+    sweep_parser.add_argument("--seeds", nargs="*", type=int,
+                              default=[1, 2, 3],
+                              help="workload seeds (default 1 2 3)")
+    sweep_parser.add_argument("--machines", nargs="*", default=["single",
+                                                                "fgstp"],
+                              choices=MACHINES,
+                              help="machines to run (default single fgstp)")
+    sweep_parser.add_argument("--configs", nargs="*", default=["medium"],
+                              choices=("small", "medium"),
+                              help="core configurations (default medium)")
+    sweep_parser.add_argument("--workers", type=int,
+                              default=os.cpu_count() or 1,
+                              help="worker processes (default: all cores; "
+                                   "1 = serial)")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-job timeout in seconds")
+    sweep_parser.add_argument("--retries", type=int, default=1,
+                              help="retries per failed job (default 1)")
+    sweep_parser.add_argument("--cache-dir", default=".repro_cache",
+                              help="disk cache root (default .repro_cache)")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the disk cache entirely")
+    sweep_parser.add_argument("--store", default=None,
+                              help="append results to this JSON-lines "
+                                   "result store")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-job progress lines")
+    _add_sizing(sweep_parser)
+
     report_parser = sub.add_parser("report",
                                    help="emit markdown for all experiments")
     _add_sizing(report_parser)
@@ -139,8 +206,8 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run,
-                "simulate": cmd_simulate, "report": cmd_report,
-                "validate": cmd_validate}
+                "simulate": cmd_simulate, "sweep": cmd_sweep,
+                "report": cmd_report, "validate": cmd_validate}
     return handlers[args.command](args)
 
 

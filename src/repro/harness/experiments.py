@@ -18,6 +18,7 @@ from ..stats.tables import render_table
 from ..workloads.profiles import SPEC_FP_NAMES, SPEC_INT_NAMES
 from ..workloads.suite import suite_names
 from .config import REPRESENTATIVE, ExperimentConfig
+from .parallel import make_job, run_jobs, run_suites
 from .runners import build_machine, config_for, run_machine, run_suite
 
 
@@ -54,11 +55,16 @@ class ExperimentReport:
 
 def _headline(config: ExperimentConfig, core_name: str,
               experiment_id: str) -> ExperimentReport:
-    """Shared implementation of the E1/E2 headline comparison."""
+    """Shared implementation of the E1/E2 headline comparison.
+
+    All three machine × suite sweeps form one engine batch, so the
+    headline experiments parallelise across machines as well as
+    benchmarks (see :mod:`repro.harness.parallel`).
+    """
     base = config_for(core_name)
-    single = run_suite("single", base, config)
-    fusion = run_suite("corefusion", base, config)
-    fgstp = run_suite("fgstp", base, config)
+    suites = run_suites(("single", "corefusion", "fgstp"), base, config)
+    single, fusion, fgstp = (suites["single"], suites["corefusion"],
+                             suites["fgstp"])
     rows = []
     speedups_cf, speedups_fg, fg_over_cf = [], [], []
     for name in single:
@@ -130,20 +136,30 @@ def _sensitivity(config: ExperimentConfig, experiment_id: str, title: str,
                  axis_name: str, points: List[Any],
                  fgstp_for: Callable[[Any], FgStpParams]
                  ) -> ExperimentReport:
-    """Shared sweep implementation for E4/E5/E9."""
+    """Shared sweep implementation for E4/E5/E9.
+
+    The baseline runs and every (sweep point × benchmark) cell are
+    submitted as one engine batch; all points of a sensitivity curve
+    can simulate concurrently.
+    """
     base = config_for("medium")
     names = config.benchmarks or REPRESENTATIVE
     sweep_config = config.with_(benchmarks=list(names))
-    singles = {name: run_machine("single", name, base, sweep_config)
-               for name in names}
-    rows = []
+    jobs = [make_job("single", name, base, sweep_config)
+            for name in names]
     for point in points:
         fgstp = fgstp_for(point)
+        jobs.extend(make_job("fgstp", name, base, sweep_config,
+                             fgstp=fgstp)
+                    for name in names)
+    results = run_jobs(jobs)
+    singles = dict(zip(names, results[:len(names)]))
+    rows = []
+    for offset, point in enumerate(points):
+        start = len(names) * (offset + 1)
         row: List[Any] = [point]
         speedups = []
-        for name in names:
-            result = run_machine("fgstp", name, base, sweep_config,
-                                 fgstp=fgstp)
+        for name, result in zip(names, results[start:start + len(names)]):
             speedup = singles[name].cycles / result.cycles
             speedups.append(speedup)
             row.append(speedup)
@@ -291,9 +307,11 @@ def e10_int_fp_split(config: ExperimentConfig) -> ExperimentReport:
             if not names:
                 continue
             suite_cfg = config.with_(benchmarks=names)
-            single = run_suite("single", base, suite_cfg)
-            fusion = run_suite("corefusion", base, suite_cfg)
-            fgstp = run_suite("fgstp", base, suite_cfg)
+            suites = run_suites(("single", "corefusion", "fgstp"),
+                                base, suite_cfg)
+            single, fusion, fgstp = (suites["single"],
+                                     suites["corefusion"],
+                                     suites["fgstp"])
             cf_speedup = geomean(
                 [single[n].cycles / fusion[n].cycles for n in names])
             fg_speedup = geomean(

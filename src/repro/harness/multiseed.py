@@ -17,7 +17,7 @@ from ..fgstp.params import FgStpParams
 from ..uarch.params import CoreParams
 from ..workloads.suite import TraceCache
 from .config import ExperimentConfig
-from .runners import run_machine
+from .parallel import ExperimentEngine, make_job, run_jobs
 
 #: Two-sided z value for 95% confidence.
 _Z95 = 1.96
@@ -73,22 +73,30 @@ def seed_study(benchmark: str, machine: str, base: CoreParams,
                seeds: Sequence[int] = (1, 2, 3, 4, 5),
                baseline: str = "single",
                fgstp: Optional[FgStpParams] = None,
-               cache: Optional[TraceCache] = None) -> SeedStudy:
+               cache: Optional[TraceCache] = None,
+               engine: Optional[ExperimentEngine] = None) -> SeedStudy:
     """Measure *machine*'s speedup over *baseline* across *seeds*.
 
     Each seed generates an independent trace of the configured length;
-    both machines run the identical trace per seed.
+    both machines run the identical trace per seed.  The whole
+    2 × len(seeds) matrix goes through the experiment engine, so a
+    parallel *engine* spreads the seeds across workers; the default is
+    an in-process serial engine sharing *cache* (results are
+    bit-identical either way).
     """
     if not seeds:
         raise ValueError("seed_study needs at least one seed")
-    cache = cache or TraceCache()
-    speedups = []
+    if engine is None:
+        engine = ExperimentEngine(max_workers=1,
+                                  trace_cache=cache or TraceCache())
+    jobs = []
     for seed in seeds:
         seeded = config.with_(seed=seed)
-        reference = run_machine(baseline, benchmark, base, seeded,
-                                cache=cache)
-        candidate = run_machine(machine, benchmark, base, seeded,
-                                fgstp=fgstp, cache=cache)
-        speedups.append(reference.cycles / candidate.cycles)
+        jobs.append(make_job(baseline, benchmark, base, seeded))
+        jobs.append(make_job(machine, benchmark, base, seeded,
+                             fgstp=fgstp))
+    results = run_jobs(jobs, engine)
+    speedups = [results[i].cycles / results[i + 1].cycles
+                for i in range(0, len(results), 2)]
     return SeedStudy(benchmark=benchmark, machine=machine,
                      baseline=baseline, speedups=speedups)

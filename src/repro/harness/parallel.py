@@ -1,0 +1,696 @@
+"""Parallel experiment execution engine.
+
+Every experiment in this repository reduces to a matrix of independent
+``run_machine`` calls — benchmark × seed × machine × configuration — and
+the matrix is embarrassingly parallel.  This module fans those jobs out
+across a :class:`concurrent.futures.ProcessPoolExecutor` with:
+
+* a **disk-backed cache** shared by all workers: generated traces
+  (:class:`repro.workloads.suite.DiskTraceCache`) and finished
+  :class:`~repro.stats.result.SimResult` records (content-hash keyed
+  JSON under ``<cache_dir>/results/``) are persisted so repeated sweeps
+  and sibling workers never redo work;
+* **robustness**: a per-job timeout, bounded retry with exponential
+  backoff, and graceful degradation — a broken pool (dead worker,
+  unavailable multiprocessing) drains the remaining jobs serially in
+  the parent instead of sinking the sweep;
+* a **metrics layer** (:class:`SweepMetrics`): jobs done / failed /
+  retried, cache hit rates and wall-clock per stage, surfaced through
+  :mod:`repro.harness.report` and the ``repro sweep`` CLI subcommand.
+
+Determinism: trace generation is seed-deterministic and the timing
+models are pure functions of their trace, so a parallel sweep is
+bit-identical to a serial one (asserted by
+``tests/harness/test_parallel.py``).
+
+Serial execution (``max_workers=1``) goes through the exact same job
+path without creating a pool, so :mod:`.multiseed` and
+:mod:`.experiments` route through the engine unconditionally and scale
+with ``REPRO_WORKERS`` for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from ..fgstp.params import FgStpParams
+from ..stats.result import SimResult
+from ..uarch.params import CoreParams, core_config
+from ..workloads.suite import DiskTraceCache, TraceCache, trace_key
+from .config import ExperimentConfig
+from .runners import run_machine
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent simulation: benchmark × machine × config × seed.
+
+    Attributes:
+        machine: Machine label (see :data:`repro.harness.runners.MACHINES`).
+        benchmark: Workload name.
+        base: Per-core configuration.
+        config: Experiment sizing (trace length / warmup / seed).
+        fgstp: Fg-STP parameters (fgstp machines only).
+        overrides: Machine-specific constructor kwargs as a sorted item
+            tuple (kept hashable/picklable).
+    """
+
+    machine: str
+    benchmark: str
+    base: CoreParams
+    config: ExperimentConfig
+    fgstp: Optional[FgStpParams] = None
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def name(self) -> str:
+        """Short human-readable label for progress lines."""
+        return (f"{self.machine}/{self.benchmark}"
+                f"/{self.base.name}/s{self.config.seed}")
+
+    def key(self) -> str:
+        """Content-hash of everything that determines this job's result."""
+        blob = "|".join((
+            str(_RESULT_CACHE_VERSION),
+            self.machine,
+            trace_key(self.benchmark, self.config.trace_length,
+                      self.config.seed),
+            str(self.config.warmup),
+            repr(self.base),
+            repr(self.fgstp),
+            repr(self.overrides),
+        ))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def make_job(machine: str, benchmark: str, base: CoreParams,
+             config: ExperimentConfig,
+             fgstp: Optional[FgStpParams] = None,
+             **overrides) -> SweepJob:
+    """Build a :class:`SweepJob` from ``run_machine``-style arguments."""
+    return SweepJob(machine=machine, benchmark=benchmark, base=base,
+                    config=config, fgstp=fgstp,
+                    overrides=tuple(sorted(overrides.items())))
+
+
+def matrix_jobs(benchmarks: Sequence[str], seeds: Sequence[int],
+                machines: Sequence[str],
+                configs: Sequence[str] = ("medium",),
+                trace_length: int = 30000, warmup: int = 10000,
+                fgstp: Optional[FgStpParams] = None) -> List[SweepJob]:
+    """The full benchmark × seed × machine × config job matrix."""
+    jobs = []
+    for config_name in configs:
+        base = core_config(config_name)
+        for seed in seeds:
+            config = ExperimentConfig(trace_length=trace_length,
+                                      warmup=warmup, seed=seed)
+            for benchmark in benchmarks:
+                for machine in machines:
+                    jobs.append(make_job(
+                        machine, benchmark, base, config,
+                        fgstp=fgstp if machine.startswith("fgstp") else None))
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Job execution (runs inside workers and in the serial path)
+# ----------------------------------------------------------------------
+
+#: Trace cache used by :func:`execute_job` in this process.  Workers get
+#: one pointed at the shared cache directory via :func:`_init_worker`;
+#: the serial path installs the engine's cache around each run.
+_PROCESS_CACHE: TraceCache = TraceCache()
+
+
+def _init_worker(cache_dir: Optional[str]) -> None:
+    """Pool initializer: give each worker a disk-backed trace cache."""
+    global _PROCESS_CACHE
+    _PROCESS_CACHE = (DiskTraceCache(cache_dir) if cache_dir
+                      else TraceCache())
+    # Workers must not intercept Ctrl-C; the parent handles shutdown.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+
+
+def execute_job(job: SweepJob) -> SimResult:
+    """Run one job against the process-local trace cache."""
+    return run_machine(job.machine, job.benchmark, job.base, job.config,
+                       fgstp=job.fgstp, cache=_PROCESS_CACHE,
+                       **dict(job.overrides))
+
+
+class JobTimeout(Exception):
+    """A job exceeded the engine's per-job timeout."""
+
+
+def _call_with_timeout(function: Callable[[SweepJob], SimResult],
+                       job: SweepJob,
+                       timeout: Optional[float]) -> SimResult:
+    """Serial-path timeout enforcement via ``SIGALRM`` where possible.
+
+    Off the main thread (or on platforms without ``setitimer``) the
+    timeout is not enforceable without a pool; the job simply runs.
+    """
+    can_alarm = (timeout is not None and hasattr(signal, "setitimer")
+                 and threading.current_thread() is threading.main_thread())
+    if not can_alarm:
+        return function(job)
+
+    def _on_alarm(_signum, _frame):
+        raise JobTimeout(f"{job.name} exceeded {timeout:.3g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return function(job)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Outcome bookkeeping
+# ----------------------------------------------------------------------
+
+_RESULT_CACHE_VERSION = 1
+
+
+@dataclass
+class JobFailure:
+    """One permanently failed job (after all retries).
+
+    Attributes:
+        job: The failed job.
+        kind: ``"timeout"`` or ``"error"``.
+        attempts: Total attempts made (1 + retries).
+        error: Stringified final exception.
+    """
+
+    job: SweepJob
+    kind: str
+    attempts: int
+    error: str
+
+    def __str__(self) -> str:
+        return (f"{self.job.name}: {self.kind} after "
+                f"{self.attempts} attempt(s): {self.error}")
+
+
+@dataclass
+class SweepMetrics:
+    """Progress and efficiency counters for one engine run.
+
+    Attributes:
+        mode: ``"serial"``, ``"parallel"``, ``"degraded"`` (pool died
+            mid-run; remainder drained serially), or ``"cached"``
+            (every job served from the result cache).
+        workers: Worker processes requested.
+        jobs_total / jobs_done / jobs_failed: Job counts; done + failed +
+            result_cache_hits == total on return.
+        retries: Extra attempts beyond each job's first.
+        result_cache_hits: Jobs satisfied from the on-disk result cache.
+        traces_reused / traces_generated: Distinct traces the sweep
+            needed that were already on disk vs. freshly generated
+            (disk cache only).
+        wall_seconds: End-to-end wall clock.
+        stage_seconds: Wall clock per stage (``"cache_probe"``,
+            ``"execute"``).
+    """
+
+    mode: str = "serial"
+    workers: int = 1
+    jobs_total: int = 0
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    retries: int = 0
+    result_cache_hits: int = 0
+    traces_reused: int = 0
+    traces_generated: int = 0
+    wall_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of jobs satisfied from the result cache."""
+        if not self.jobs_total:
+            return 0.0
+        return self.result_cache_hits / self.jobs_total
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "jobs_total": self.jobs_total,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "retries": self.retries,
+            "result_cache_hits": self.result_cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "traces_reused": self.traces_reused,
+            "traces_generated": self.traces_generated,
+            "wall_seconds": self.wall_seconds,
+            "stage_seconds": dict(self.stage_seconds),
+        }
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one engine run produced.
+
+    ``results[i]`` corresponds to ``jobs[i]`` and is ``None`` exactly
+    when that job appears in :attr:`failures`.
+    """
+
+    jobs: List[SweepJob]
+    results: List[Optional[SimResult]]
+    failures: List[JobFailure] = field(default_factory=list)
+    metrics: SweepMetrics = field(default_factory=SweepMetrics)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def result_for(self, machine: str, benchmark: str,
+                   seed: Optional[int] = None) -> SimResult:
+        """The first matching successful result.
+
+        Raises:
+            KeyError: when no successful job matches.
+        """
+        for job, result in zip(self.jobs, self.results):
+            if result is None:
+                continue
+            if job.machine != machine or job.benchmark != benchmark:
+                continue
+            if seed is not None and job.config.seed != seed:
+                continue
+            return result
+        raise KeyError(f"no result for {machine}/{benchmark}"
+                       f"{'' if seed is None else f'/s{seed}'}")
+
+    def by_machine(self) -> Dict[str, Dict[str, Dict[int, SimResult]]]:
+        """``machine -> benchmark -> seed -> result`` (successes only)."""
+        nested: Dict[str, Dict[str, Dict[int, SimResult]]] = {}
+        for job, result in zip(self.jobs, self.results):
+            if result is None:
+                continue
+            nested.setdefault(job.machine, {}) \
+                .setdefault(job.benchmark, {})[job.config.seed] = result
+        return nested
+
+
+class SweepError(RuntimeError):
+    """Raised by the strict helpers when any job permanently failed."""
+
+    def __init__(self, failures: List[JobFailure]):
+        self.failures = failures
+        lines = "\n  ".join(str(failure) for failure in failures)
+        super().__init__(f"{len(failures)} job(s) failed:\n  {lines}")
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+ProgressFn = Callable[[str, str], None]
+
+
+class ExperimentEngine:
+    """Runs :class:`SweepJob` batches, in parallel where it pays.
+
+    Args:
+        max_workers: Worker processes; ``1`` runs in-process with no
+            pool (identical results, no IPC overhead).
+        timeout: Per-job attempt timeout in seconds (``None`` = none).
+        retries: Extra attempts after a failed/timed-out first try.
+        backoff: Base of the exponential retry delay
+            (``backoff * 2**(attempt-1)`` seconds).
+        cache_dir: Root of the shared disk cache (traces + results);
+            ``None`` disables both disk tiers.
+        result_cache: Serve/persist finished results from
+            ``<cache_dir>/results/`` (requires *cache_dir*).
+        trace_cache: Trace cache for the serial path (defaults to a
+            fresh per-run cache, or the disk cache when *cache_dir* is
+            set).
+        progress: Optional callback ``(event, message)`` with events
+            ``job-done``, ``job-retry``, ``job-failed``, ``stage``.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 1,
+                 backoff: float = 0.05,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 result_cache: bool = True,
+                 trace_cache: Optional[TraceCache] = None,
+                 progress: Optional[ProgressFn] = None):
+        self.max_workers = max(1, int(max_workers or 1))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.result_cache = bool(result_cache and self.cache_dir)
+        self.trace_cache = trace_cache
+        self.progress = progress
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, jobs: Sequence[SweepJob],
+            job_fn: Callable[[SweepJob], SimResult] = execute_job
+            ) -> SweepOutcome:
+        """Run *jobs* and return a :class:`SweepOutcome`.
+
+        Permanent failures never raise — they are reported in
+        ``outcome.failures`` so one poisoned job cannot sink a sweep.
+        """
+        jobs = list(jobs)
+        started = time.monotonic()
+        metrics = SweepMetrics(jobs_total=len(jobs),
+                               workers=self.max_workers)
+        outcome = SweepOutcome(jobs=jobs, results=[None] * len(jobs),
+                               metrics=metrics)
+
+        probe_started = time.monotonic()
+        trace_keys = {trace_key(job.benchmark, job.config.trace_length,
+                                job.config.seed) for job in jobs}
+        preexisting = self._existing_trace_keys(trace_keys)
+        pending: List[int] = []
+        for index, job in enumerate(jobs):
+            cached = self._load_cached_result(job)
+            if cached is not None:
+                outcome.results[index] = cached
+                metrics.result_cache_hits += 1
+            else:
+                pending.append(index)
+        metrics.stage_seconds["cache_probe"] = \
+            time.monotonic() - probe_started
+
+        execute_started = time.monotonic()
+        if pending and self.max_workers > 1:
+            metrics.mode = "parallel"
+            remaining = self._run_pool(jobs, pending, job_fn, outcome)
+            if remaining:
+                metrics.mode = "degraded"
+                self._emit("stage", f"pool unavailable; running "
+                                    f"{len(remaining)} job(s) serially")
+                self._run_serial(jobs, remaining, job_fn, outcome)
+        elif pending:
+            metrics.mode = "serial"
+            self._run_serial(jobs, pending, job_fn, outcome)
+        else:
+            metrics.mode = "cached"
+        metrics.stage_seconds["execute"] = \
+            time.monotonic() - execute_started
+
+        for index in pending:
+            if outcome.results[index] is not None:
+                self._store_cached_result(jobs[index],
+                                          outcome.results[index])
+        after = self._existing_trace_keys(trace_keys)
+        metrics.traces_reused = len(preexisting)
+        metrics.traces_generated = len(after - preexisting)
+        metrics.wall_seconds = time.monotonic() - started
+        return outcome
+
+    def run_strict(self, jobs: Sequence[SweepJob],
+                   job_fn: Callable[[SweepJob], SimResult] = execute_job
+                   ) -> List[SimResult]:
+        """Run *jobs*; raise :class:`SweepError` on any failure."""
+        outcome = self.run(jobs, job_fn)
+        if not outcome.ok:
+            raise SweepError(outcome.failures)
+        return [result for result in outcome.results if result is not None]
+
+    # -- serial path ---------------------------------------------------
+
+    def _run_serial(self, jobs: Sequence[SweepJob], pending: Sequence[int],
+                    job_fn: Callable[[SweepJob], SimResult],
+                    outcome: SweepOutcome) -> None:
+        global _PROCESS_CACHE
+        saved = _PROCESS_CACHE
+        _PROCESS_CACHE = self._serial_cache()
+        try:
+            for index in pending:
+                if outcome.results[index] is not None:
+                    continue  # already satisfied (degraded-mode rerun)
+                job = jobs[index]
+                for attempt in range(1, self.retries + 2):
+                    try:
+                        outcome.results[index] = _call_with_timeout(
+                            job_fn, job, self.timeout)
+                        outcome.metrics.jobs_done += 1
+                        self._emit("job-done", job.name)
+                        break
+                    except Exception as exc:
+                        kind = ("timeout" if isinstance(exc, JobTimeout)
+                                else "error")
+                        if attempt <= self.retries:
+                            outcome.metrics.retries += 1
+                            self._emit("job-retry",
+                                       f"{job.name}: {kind} ({exc}); "
+                                       f"attempt {attempt + 1}")
+                            time.sleep(self.backoff * (2 ** (attempt - 1)))
+                        else:
+                            self._fail(outcome, index, kind, attempt, exc)
+        finally:
+            _PROCESS_CACHE = saved
+
+    def _serial_cache(self) -> TraceCache:
+        if self.trace_cache is not None:
+            return self.trace_cache
+        if self.cache_dir is not None:
+            return DiskTraceCache(self.cache_dir)
+        return TraceCache()
+
+    # -- pool path -----------------------------------------------------
+
+    def _run_pool(self, jobs: Sequence[SweepJob], pending: Sequence[int],
+                  job_fn: Callable[[SweepJob], SimResult],
+                  outcome: SweepOutcome) -> List[int]:
+        """Parallel execution; returns indices left for serial drain.
+
+        A per-job deadline is enforced parent-side: an overdue future is
+        abandoned (a busy worker cannot be preempted) and the job is
+        retried on another slot.  :class:`BrokenProcessPool` — or any
+        failure to create the pool at all — degrades by returning the
+        unfinished indices.
+        """
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(str(self.cache_dir) if self.cache_dir else None,))
+        except (OSError, ImportError, PermissionError) as exc:
+            self._emit("stage", f"process pool unavailable ({exc})")
+            return list(pending)
+
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        inflight: Dict[Any, Tuple[int, Optional[float]]] = {}
+        unfinished: List[int] = []
+        abandoned = 0
+
+        def submit(index: int) -> None:
+            attempts[index] += 1
+            deadline = (time.monotonic() + self.timeout
+                        if self.timeout else None)
+            inflight[pool.submit(job_fn, jobs[index])] = (index, deadline)
+
+        def retry_or_fail(index: int, kind: str, exc: Exception) -> bool:
+            """Returns True when the job was resubmitted."""
+            if attempts[index] <= self.retries:
+                outcome.metrics.retries += 1
+                self._emit("job-retry",
+                           f"{jobs[index].name}: {kind} ({exc}); "
+                           f"attempt {attempts[index] + 1}")
+                time.sleep(self.backoff * (2 ** (attempts[index] - 1)))
+                submit(index)
+                return True
+            self._fail(outcome, index, kind, attempts[index], exc)
+            return False
+
+        try:
+            for index in pending:
+                submit(index)
+            while inflight:
+                now = time.monotonic()
+                deadlines = [deadline for _, deadline in inflight.values()
+                             if deadline is not None]
+                wait_for = (max(0.0, min(deadlines) - now)
+                            if deadlines else None)
+                done, _ = wait(set(inflight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, _ = inflight.pop(future)
+                    try:
+                        outcome.results[index] = future.result()
+                        outcome.metrics.jobs_done += 1
+                        self._emit("job-done", jobs[index].name)
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        retry_or_fail(index, "error", exc)
+                now = time.monotonic()
+                for future in [f for f, (_, deadline) in inflight.items()
+                               if deadline is not None and now >= deadline]:
+                    index, _ = inflight.pop(future)
+                    if not future.cancel():
+                        abandoned += 1  # running: slot freed when it ends
+                    retry_or_fail(
+                        index, "timeout",
+                        JobTimeout(f"exceeded {self.timeout:.3g}s"))
+        except BrokenProcessPool as exc:
+            self._emit("stage", f"worker died ({exc})")
+            unfinished = [index for index, _ in inflight.values()]
+            unfinished += [index for index in pending
+                           if outcome.results[index] is None
+                           and index not in unfinished
+                           and not any(failure.job is jobs[index]
+                                       for failure in outcome.failures)]
+        finally:
+            # A clean join unless a timed-out job still occupies a
+            # worker — then a blocking shutdown would wait out the very
+            # hang the timeout was for.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        return unfinished
+
+    # -- caching and reporting helpers ---------------------------------
+
+    def _result_path(self, job: SweepJob) -> Optional[Path]:
+        if not self.result_cache or self.cache_dir is None:
+            return None
+        return self.cache_dir / "results" / f"{job.key()}.json"
+
+    def _load_cached_result(self, job: SweepJob) -> Optional[SimResult]:
+        path = self._result_path(job)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open() as stream:
+                return SimResult.from_dict(json.load(stream))
+        except (json.JSONDecodeError, KeyError, OSError):
+            return None  # corrupt entry: recompute and overwrite
+
+    def _store_cached_result(self, job: SweepJob, result: SimResult) -> None:
+        path = self._result_path(job)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            with tmp.open("w") as stream:
+                json.dump(result.as_dict(), stream, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _existing_trace_keys(self, keys: Iterable[str]) -> set:
+        if self.cache_dir is None:
+            return set()
+        trace_dir = self.cache_dir / "traces"
+        return {key for key in keys
+                if (trace_dir / f"{key}.trace").exists()}
+
+    def _fail(self, outcome: SweepOutcome, index: int, kind: str,
+              attempts: int, exc: Exception) -> None:
+        failure = JobFailure(job=outcome.jobs[index], kind=kind,
+                             attempts=attempts, error=str(exc))
+        outcome.failures.append(failure)
+        outcome.metrics.jobs_failed += 1
+        self._emit("job-failed", str(failure))
+
+    def _emit(self, event: str, message: str) -> None:
+        if self.progress is not None:
+            self.progress(event, message)
+
+
+# ----------------------------------------------------------------------
+# Default engine + high-level helpers used by the rest of the harness
+# ----------------------------------------------------------------------
+
+_default_engine: Optional[ExperimentEngine] = None
+
+
+def default_engine() -> ExperimentEngine:
+    """The process-wide engine the harness routes through.
+
+    Configured from the environment on first use: ``REPRO_WORKERS``
+    (default 1 = serial) and ``REPRO_CACHE_DIR`` (default: no disk
+    cache).  Replace with :func:`set_default_engine`.
+    """
+    global _default_engine
+    if _default_engine is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        _default_engine = ExperimentEngine(max_workers=workers,
+                                           cache_dir=cache_dir)
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[ExperimentEngine]) -> None:
+    """Install (or with ``None``, reset) the process-wide engine."""
+    global _default_engine
+    _default_engine = engine
+
+
+def run_jobs(jobs: Sequence[SweepJob],
+             engine: Optional[ExperimentEngine] = None) -> List[SimResult]:
+    """Run *jobs* through *engine* (default: the process engine).
+
+    Raises:
+        SweepError: when any job permanently failed.
+    """
+    engine = engine or default_engine()
+    outcome = engine.run(jobs)
+    if not outcome.ok:
+        raise SweepError(outcome.failures)
+    return list(outcome.results)  # type: ignore[arg-type]
+
+
+def run_suites(machines: Sequence[str], base: CoreParams,
+               config: ExperimentConfig,
+               engine: Optional[ExperimentEngine] = None,
+               fgstp: Optional[FgStpParams] = None,
+               **overrides) -> Dict[str, Dict[str, SimResult]]:
+    """Run the configured benchmark suite on several machines at once.
+
+    The drop-in fan-out replacement for N calls to
+    :func:`repro.harness.runners.run_suite`: the whole machine ×
+    benchmark matrix is one engine batch, so it parallelises across
+    machines as well as benchmarks.
+
+    Returns:
+        ``machine -> benchmark -> SimResult`` preserving suite order.
+    """
+    from ..workloads.suite import suite_names
+
+    names = list(config.benchmarks) or suite_names("all")
+    jobs = [make_job(machine, name, base, config,
+                     fgstp=fgstp if machine.startswith("fgstp") else None,
+                     **overrides)
+            for machine in machines for name in names]
+    results = run_jobs(jobs, engine)
+    nested: Dict[str, Dict[str, SimResult]] = {}
+    for job, result in zip(jobs, results):
+        nested.setdefault(job.machine, {})[job.benchmark] = result
+    return nested

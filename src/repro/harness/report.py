@@ -2,15 +2,19 @@
 
 Used to (re)generate the measured sections of EXPERIMENTS.md: every
 experiment report renders to a fenced plain-text table plus its headline
-metrics, under a stable heading per experiment id.
+metrics, under a stable heading per experiment id.  Also renders
+``repro sweep`` outcomes (per-job result table, failure list and the
+engine's progress/cache metrics).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from ..stats.tables import render_table
 from .config import ExperimentConfig
 from .experiments import REGISTRY, ExperimentReport, run_experiment
+from .parallel import SweepOutcome
 
 
 def report_to_markdown(report: ExperimentReport) -> str:
@@ -43,3 +47,43 @@ def run_and_render(experiment_ids: Optional[Iterable[str]] = None,
     header = (f"_Generated with trace_length={config.trace_length}, "
               f"warmup={config.warmup}, seed={config.seed}._\n")
     return header + "\n" + "\n".join(sections)
+
+
+def sweep_to_text(outcome: SweepOutcome, precision: int = 3) -> str:
+    """Render one sweep outcome: results, failures and engine metrics."""
+    rows = []
+    for job, result in zip(outcome.jobs, outcome.results):
+        if result is None:
+            continue
+        rows.append([job.machine, job.benchmark, job.base.name,
+                     job.config.seed, result.cycles, result.instructions,
+                     result.ipc])
+    lines: List[str] = []
+    if rows:
+        lines.append(render_table(
+            ["machine", "benchmark", "config", "seed", "cycles",
+             "instructions", "ipc"],
+            rows, precision=precision, title="sweep results"))
+    metrics = outcome.metrics
+    lines.append("")
+    lines.append(f"engine: mode={metrics.mode} workers={metrics.workers} "
+                 f"wall={metrics.wall_seconds:.2f}s")
+    lines.append(f"jobs: total={metrics.jobs_total} "
+                 f"done={metrics.jobs_done} failed={metrics.jobs_failed} "
+                 f"retried={metrics.retries}")
+    lines.append(f"cache: result_hits={metrics.result_cache_hits} "
+                 f"(hit_rate={metrics.cache_hit_rate:.1%}) "
+                 f"traces_reused={metrics.traces_reused} "
+                 f"traces_generated={metrics.traces_generated}")
+    for stage, seconds in sorted(metrics.stage_seconds.items()):
+        lines.append(f"stage {stage}: {seconds:.2f}s")
+    if outcome.failures:
+        lines.append("")
+        lines.append(f"failures ({len(outcome.failures)}):")
+        lines.extend(f"  {failure}" for failure in outcome.failures)
+    return "\n".join(lines)
+
+
+def sweep_to_markdown(outcome: SweepOutcome) -> str:
+    """Markdown section for one sweep outcome (EXPERIMENTS.md style)."""
+    return "### Sweep\n\n```text\n" + sweep_to_text(outcome) + "\n```\n"

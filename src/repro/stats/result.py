@@ -57,6 +57,19 @@ class SimResult:
             raise ValueError("zero-cycle result")
         return baseline.cycles / self.cycles
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "SimResult":
+        """Rebuild a result from :meth:`as_dict` output (``ipc`` is
+        derived and ignored; unknown keys are rejected loudly)."""
+        return cls(
+            machine=record["machine"],
+            config=record["config"],
+            workload=record["workload"],
+            cycles=record["cycles"],
+            instructions=record["instructions"],
+            extra=record.get("extra", {}),
+        )
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "machine": self.machine,

@@ -9,14 +9,45 @@ parameter set) and supports filtered reload and cross-run comparison.
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, TextIO,
+                    Union)
 
 from .result import SimResult
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextmanager
+def _exclusive(stream: TextIO) -> Iterator[None]:
+    """Hold an exclusive advisory lock on *stream* for the block.
+
+    Concurrent sweep workers append to the same store; without the lock
+    two buffered writes can interleave mid-line and corrupt the JSON.
+    On platforms without ``fcntl`` the lock degrades to a no-op (single-
+    process appends stay safe because each record is flushed in one
+    buffered write).
+    """
+    if fcntl is not None:
+        fcntl.flock(stream.fileno(), fcntl.LOCK_EX)
+    try:
+        yield
+    finally:
+        if fcntl is not None:
+            stream.flush()
+            fcntl.flock(stream.fileno(), fcntl.LOCK_UN)
 
 
 class ResultStore:
     """Append-only JSON-lines store of simulation results.
+
+    Appends take an exclusive file lock, so concurrent processes (e.g.
+    parallel sweep workers) can share one store without interleaving
+    partial lines.
 
     Args:
         path: Backing file; created on first append.
@@ -28,10 +59,22 @@ class ResultStore:
     def append(self, result: SimResult,
                tags: Optional[Dict[str, Any]] = None) -> None:
         """Append one result (with optional free-form *tags*)."""
-        record = result.as_dict()
-        record["tags"] = dict(tags or {})
+        self.append_many([result], tags=tags)
+
+    def append_many(self, results: Iterable[SimResult],
+                    tags: Optional[Dict[str, Any]] = None) -> int:
+        """Append several results under one lock; returns the count."""
+        lines = []
+        for result in results:
+            record = result.as_dict()
+            record["tags"] = dict(tags or {})
+            lines.append(json.dumps(record, sort_keys=True) + "\n")
+        if not lines:
+            return 0
         with self.path.open("a") as stream:
-            stream.write(json.dumps(record, sort_keys=True) + "\n")
+            with _exclusive(stream):
+                stream.write("".join(lines))
+        return len(lines)
 
     def __iter__(self) -> Iterator[dict]:
         if not self.path.exists():

@@ -55,3 +55,56 @@ def test_cli_simulate_unknown_benchmark(capsys):
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_sweep_serial_with_store(tmp_path, capsys):
+    store_path = tmp_path / "runs.jsonl"
+    assert main(["sweep", "--benchmarks", "gcc", "--seeds", "1", "2",
+                 "--machines", "single", "fgstp", "--workers", "1",
+                 "--length", "1500", "--warmup", "500", "--quiet",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--store", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "sweep results" in out
+    assert "mode=serial" in out
+    assert "jobs: total=4 done=4 failed=0" in out
+    from repro.stats.store import ResultStore
+    records = list(ResultStore(store_path))
+    assert len(records) == 4
+    assert all(record["tags"]["source"] == "sweep" for record in records)
+
+
+def test_cli_sweep_reuses_result_cache(tmp_path, capsys):
+    args = ["sweep", "--benchmarks", "gcc", "--seeds", "1",
+            "--machines", "single", "--workers", "1",
+            "--length", "1500", "--warmup", "500", "--quiet",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0
+    assert "result_hits=1" in capsys.readouterr().out
+
+
+def test_cli_sweep_rejects_unknown_benchmark(capsys):
+    assert main(["sweep", "--benchmarks", "nope", "--workers", "1",
+                 "--length", "1000", "--warmup", "100"]) == 2
+
+
+def test_sweep_to_text_reports_failures():
+    from repro.harness.parallel import (ExperimentEngine, SweepJob)
+    from repro.harness.report import sweep_to_text
+    from repro.uarch.params import core_config
+
+    jobs = [SweepJob(machine="single", benchmark="gcc",
+                     base=core_config("small"),
+                     config=ExperimentConfig(trace_length=1200,
+                                             warmup=400)),
+            SweepJob(machine="single", benchmark="BOOM",
+                     base=core_config("small"),
+                     config=ExperimentConfig(trace_length=1200,
+                                             warmup=400))]
+    outcome = ExperimentEngine(max_workers=1, retries=0).run(jobs)
+    text = sweep_to_text(outcome)
+    assert "failures (1):" in text
+    assert "single/BOOM" in text
+    assert "jobs: total=2 done=1 failed=1" in text

@@ -1,0 +1,92 @@
+"""Property-based checks of the statistics the headline numbers rest on.
+
+The geomean / mean / confidence-interval math in
+:mod:`repro.stats.aggregate` and :mod:`repro.harness.multiseed` is
+hand-rolled (no NumPy on the hot path); these tests pin it against
+independent NumPy-free references — the stdlib :mod:`statistics` module
+and exact :class:`fractions.Fraction` arithmetic — on random inputs.
+"""
+
+import math
+import statistics
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.multiseed import SeedStudy
+from repro.stats.aggregate import arith_mean, geomean, relative_improvement
+
+#: Speedup-like values: positive, far from under/overflow.
+positive = st.floats(min_value=1e-3, max_value=1e3,
+                     allow_nan=False, allow_infinity=False)
+positive_lists = st.lists(positive, min_size=1, max_size=30)
+
+
+@settings(max_examples=200, deadline=None)
+@given(positive_lists)
+def test_geomean_matches_reference(values):
+    reference = statistics.geometric_mean(values)
+    assert math.isclose(geomean(values), reference, rel_tol=1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(positive_lists)
+def test_arith_mean_matches_exact_fraction_mean(values):
+    exact = sum(Fraction(value) for value in values) / len(values)
+    assert math.isclose(arith_mean(values), float(exact), rel_tol=1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(positive_lists)
+def test_geomean_bounded_by_extremes_and_below_arith_mean(values):
+    gm = geomean(values)
+    assert min(values) <= gm * (1 + 1e-9)
+    assert gm <= max(values) * (1 + 1e-9)
+    # AM-GM inequality.
+    assert gm <= arith_mean(values) * (1 + 1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(positive, min_size=2, max_size=30))
+def test_seed_study_mean_and_stddev_match_statistics_module(speedups):
+    study = SeedStudy(benchmark="gcc", machine="fgstp",
+                      baseline="single", speedups=speedups)
+    assert math.isclose(study.mean, statistics.fmean(speedups),
+                        rel_tol=1e-9)
+    reference_sd = statistics.stdev(speedups)
+    assert math.isclose(study.stddev, reference_sd,
+                        rel_tol=1e-6, abs_tol=1e-12)
+    expected_ci = 1.96 * reference_sd / math.sqrt(len(speedups))
+    assert math.isclose(study.ci95, expected_ci,
+                        rel_tol=1e-6, abs_tol=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(positive, min_size=2, max_size=30),
+       st.floats(min_value=0.0, max_value=2.0,
+                 allow_nan=False, allow_infinity=False))
+def test_significantly_above_is_consistent_with_interval(speedups,
+                                                         threshold):
+    study = SeedStudy(benchmark="gcc", machine="fgstp",
+                      baseline="single", speedups=speedups)
+    assert study.significantly_above(threshold) \
+        == (study.mean - study.ci95 > threshold)
+
+
+@settings(max_examples=100, deadline=None)
+@given(positive)
+def test_single_seed_study_has_zero_interval(speedup):
+    study = SeedStudy(benchmark="gcc", machine="fgstp",
+                      baseline="single", speedups=[speedup])
+    assert study.stddev == 0.0
+    assert study.ci95 == 0.0
+    assert study.mean == speedup
+
+
+@settings(max_examples=200, deadline=None)
+@given(positive, positive)
+def test_relative_improvement_matches_definition(new, old):
+    exact = float(Fraction(new) / Fraction(old) - 1)
+    assert math.isclose(relative_improvement(new, old), exact,
+                        rel_tol=1e-9, abs_tol=1e-12)

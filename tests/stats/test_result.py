@@ -42,3 +42,18 @@ def test_as_dict():
     assert data["ipc"] == 2.0
     assert data["machine"] == "m"
     assert data["extra"] == {}
+
+
+def test_from_dict_round_trip():
+    result = make(500)
+    result.extra["queues"] = {"q0to1": {"sends": 7}}
+    rebuilt = SimResult.from_dict(result.as_dict())
+    assert rebuilt == result
+    assert rebuilt.ipc == result.ipc  # derived, not stored
+
+
+def test_from_dict_survives_json_round_trip():
+    import json
+    rebuilt = SimResult.from_dict(
+        json.loads(json.dumps(make(500).as_dict())))
+    assert rebuilt.cycles == 500 and rebuilt.workload == "w"

@@ -1,5 +1,7 @@
 """Tests for the JSON-lines result store."""
 
+from concurrent.futures import ProcessPoolExecutor
+
 import pytest
 
 from repro.stats.result import SimResult
@@ -66,6 +68,52 @@ def test_corrupt_line_raises(tmp_path):
     path.write_text('{"ok": 1}\nnot json\n')
     with pytest.raises(ValueError, match="corrupt"):
         list(ResultStore(path))
+
+
+def _append_batch(args):
+    """Worker for the concurrency regression test (module level so it
+    pickles into pool workers)."""
+    path, worker_id, count, payload_size = args
+    store = ResultStore(path)
+    for i in range(count):
+        store.append(
+            SimResult("single", "small", f"w{worker_id}", 1000 + i, 1000,
+                      extra={"blob": "x" * payload_size}),
+            tags={"worker": worker_id, "i": i})
+    return worker_id
+
+
+def test_concurrent_appends_do_not_interleave(tmp_path):
+    """Regression: ``append`` used to open/write with no locking, so
+    concurrent workers could interleave partial JSON lines.  The
+    payload is sized well past the stream buffer so an unlocked write
+    would flush mid-record."""
+    path = tmp_path / "runs.jsonl"
+    workers, per_worker, payload = 4, 5, 200_000
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        done = list(pool.map(
+            _append_batch,
+            [(str(path), worker_id, per_worker, payload)
+             for worker_id in range(workers)]))
+    assert sorted(done) == list(range(workers))
+    records = list(ResultStore(path))  # raises ValueError on a torn line
+    assert len(records) == workers * per_worker
+    for worker_id in range(workers):
+        mine = [r for r in records if r["tags"]["worker"] == worker_id]
+        assert sorted(r["tags"]["i"] for r in mine) \
+            == list(range(per_worker))
+        assert all(len(r["extra"]["blob"]) == payload for r in mine)
+
+
+def test_append_many_single_lock(store):
+    count = store.append_many(
+        [result("single", "gcc", 1000), result("fgstp", "gcc", 800)],
+        tags={"batch": 1})
+    assert count == 2
+    records = list(store)
+    assert len(records) == 2
+    assert all(r["tags"]["batch"] == 1 for r in records)
+    assert store.append_many([]) == 0
 
 
 def test_roundtrip_with_real_simulation(store):

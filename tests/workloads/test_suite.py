@@ -1,12 +1,14 @@
-"""Unit tests for the suite registry and trace cache."""
+"""Unit tests for the suite registry and trace caches."""
 
 import pytest
 
 from repro.workloads.suite import (
     DEFAULT_CACHE,
+    DiskTraceCache,
     TraceCache,
     iter_suite,
     suite_names,
+    trace_key,
     workload_suite_of,
 )
 
@@ -52,3 +54,51 @@ def test_iter_suite_yields_all():
 
 def test_default_cache_exists():
     assert isinstance(DEFAULT_CACHE, TraceCache)
+
+
+def test_trace_key_is_stable_and_axis_sensitive():
+    key = trace_key("gcc", 500, 1)
+    assert key == trace_key("gcc", 500, 1)
+    assert len({key, trace_key("mcf", 500, 1), trace_key("gcc", 600, 1),
+                trace_key("gcc", 500, 2)}) == 4
+
+
+def test_disk_cache_memoises_and_persists(tmp_path):
+    cache = DiskTraceCache(tmp_path)
+    first = cache.get("gcc", 200)
+    assert cache.get("gcc", 200) is first  # in-memory tier
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.disk_misses == 1 and cache.disk_hits == 0
+    assert cache.path_for("gcc", 200).exists()
+
+
+def test_disk_cache_shared_between_instances(tmp_path):
+    DiskTraceCache(tmp_path).get("mcf", 150, seed=3)
+    other = DiskTraceCache(tmp_path)
+    trace = other.get("mcf", 150, seed=3)
+    assert other.disk_hits == 1 and other.disk_misses == 0
+    assert trace == TraceCache().get("mcf", 150, seed=3)
+
+
+def test_disk_cache_regenerates_corrupt_entry(tmp_path):
+    cache = DiskTraceCache(tmp_path)
+    expected = cache.get("gcc", 100)
+    path = cache.path_for("gcc", 100)
+    path.write_bytes(b"definitely not a trace")
+    fresh = DiskTraceCache(tmp_path)
+    assert fresh.get("gcc", 100) == expected
+    assert fresh.disk_misses == 1  # regenerated, not propagated
+    # The rewritten entry is valid again.
+    assert DiskTraceCache(tmp_path).get("gcc", 100) == expected
+
+
+def test_disk_cache_ignores_stale_length_mismatch(tmp_path):
+    """A truncated-but-parseable entry must not satisfy a longer get."""
+    cache = DiskTraceCache(tmp_path)
+    cache.get("gcc", 120)
+    # Forge a shorter trace under the longer trace's key.
+    short = TraceCache().get("gcc", 60)
+    from repro.trace.io import write_trace
+    write_trace(short, cache.path_for("gcc", 120))
+    fresh = DiskTraceCache(tmp_path)
+    assert len(fresh.get("gcc", 120)) == 120

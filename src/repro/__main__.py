@@ -5,10 +5,16 @@ Commands:
 * ``list`` — show the registered experiments and benchmark suite.
 * ``run E1 [E4 ...]`` — run experiments and print their tables.
 * ``simulate <benchmark>`` — run one benchmark on all three machines.
+* ``profile <benchmark>`` — CPI stacks (cycle accounting) on all three
+  machines, with the ledger invariant checked.
 * ``sweep`` — fan a benchmark × seed × machine × config matrix across
   worker processes (disk-backed cache, retries, progress metrics).
 * ``report`` — emit the full markdown experiment report (stdout).
 * ``validate`` — run the cross-model invariant battery.
+
+Exit codes are uniform across commands: 0 = success, 1 = an experiment
+or validation failed, 2 = usage error (unknown benchmark, experiment id
+or malformed arguments — argparse errors also exit 2).
 """
 
 from __future__ import annotations
@@ -22,8 +28,10 @@ from .fgstp.orchestrator import simulate_fgstp
 from .harness.config import ExperimentConfig
 from .harness.experiments import REGISTRY, run_experiment
 from .harness.parallel import ExperimentEngine, matrix_jobs
-from .harness.report import run_and_render, sweep_to_text
+from .harness.report import (cpistack_comparison, cpistack_table,
+                             run_and_render, sweep_to_text)
 from .harness.runners import MACHINES
+from .stats.cpistack import AttributionError, cpistack_of
 from .stats.store import ResultStore
 from .stats.tables import render_table
 from .uarch.params import core_config
@@ -62,8 +70,16 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     config = _config(args)
-    for experiment_id in args.experiments:
-        report = run_experiment(experiment_id.upper(), config)
+    experiment_ids = [experiment_id.upper()
+                      for experiment_id in args.experiments]
+    unknown = [experiment_id for experiment_id in experiment_ids
+               if experiment_id not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; see `list`",
+              file=sys.stderr)
+        return 2
+    for experiment_id in experiment_ids:
+        report = run_experiment(experiment_id, config)
         print(report.render())
         if report.notes:
             print(f"  note: {report.notes}")
@@ -93,6 +109,48 @@ def cmd_simulate(args) -> int:
     print(render_table(["machine", "cycles", "ipc", "speedup"], rows,
                        title=f"{args.benchmark} on {args.config}"))
     return 0
+
+
+def cmd_profile(args) -> int:
+    if args.benchmark not in PROFILES:
+        print(f"unknown benchmark {args.benchmark!r}; see `list`",
+              file=sys.stderr)
+        return 2
+    base = core_config(args.config)
+    trace = generate_trace(args.benchmark, args.length, args.seed)
+    results = {
+        "single": simulate_single_core(trace, base,
+                                       workload=args.benchmark,
+                                       warmup=args.warmup),
+        "corefusion": simulate_core_fusion(trace, base,
+                                           workload=args.benchmark,
+                                           warmup=args.warmup),
+        "fgstp": simulate_fgstp(trace, base, workload=args.benchmark,
+                                warmup=args.warmup),
+    }
+    stacks = {}
+    failed = False
+    for machine, result in results.items():
+        stack = cpistack_of(result)
+        if stack is None:
+            print(f"{machine}: no CPI stack in result", file=sys.stderr)
+            failed = True
+            continue
+        try:
+            stack.validate()
+        except AttributionError as error:
+            print(f"{machine}: {error}", file=sys.stderr)
+            failed = True
+            continue
+        stacks[machine] = stack
+        print(cpistack_table(
+            stack, title=f"{args.benchmark} on {machine} "
+                         f"({args.config}, width {stack.width})"))
+        print()
+    if len(stacks) > 1:
+        print(cpistack_comparison(
+            stacks, title=f"{args.benchmark}: CPI by cause"))
+    return 1 if failed else 0
 
 
 def cmd_sweep(args) -> int:
@@ -133,8 +191,13 @@ def cmd_report(args) -> int:
 def cmd_validate(args) -> int:
     from .validation import validate_all
 
+    benchmarks = args.benchmarks or ["gcc", "milc", "mcf"]
+    unknown = [name for name in benchmarks if name not in PROFILES]
+    if unknown:
+        print(f"unknown benchmarks {unknown}; see `list`", file=sys.stderr)
+        return 2
     any_failed = False
-    for benchmark in (args.benchmarks or ["gcc", "milc", "mcf"]):
+    for benchmark in benchmarks:
         print(f"validating on {benchmark} "
               f"({args.length} instructions)...")
         results = validate_all(benchmark, length=args.length,
@@ -164,6 +227,13 @@ def main(argv=None) -> int:
     sim_parser.add_argument("--config", default="medium",
                             choices=("small", "medium"))
     _add_sizing(sim_parser)
+
+    profile_parser = sub.add_parser(
+        "profile", help="CPI stacks for one benchmark on all machines")
+    profile_parser.add_argument("benchmark")
+    profile_parser.add_argument("--config", default="medium",
+                                choices=("small", "medium"))
+    _add_sizing(profile_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="parallel benchmark × seed × machine sweep")
@@ -206,8 +276,9 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run,
-                "simulate": cmd_simulate, "sweep": cmd_sweep,
-                "report": cmd_report, "validate": cmd_validate}
+                "simulate": cmd_simulate, "profile": cmd_profile,
+                "sweep": cmd_sweep, "report": cmd_report,
+                "validate": cmd_validate}
     return handlers[args.command](args)
 
 

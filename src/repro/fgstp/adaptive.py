@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..stats.cpistack import CPIStack, cpistack_of, maybe_validate
 from ..stats.result import SimResult
 from ..trace.record import TraceRecord
 from ..uarch.params import CoreParams
@@ -67,29 +68,41 @@ class AdaptiveFgStpMachine:
         total_instructions = 0
         switches = 0
         modes = []
+        stacks = []
         previous_mode = None
         for region_trace, region_warmup in regions:
-            mode, cycles = self._run_region(region_trace, region_warmup,
-                                            workload)
+            mode, region_result = self._run_region(
+                region_trace, region_warmup, workload)
+            cycles = region_result.cycles
+            stack = cpistack_of(region_result)
             if previous_mode is not None and mode != previous_mode:
                 switches += 1
                 cycles += self.reconfigure_penalty
+                if stack is not None:
+                    stack = stack.with_overhead("reconfig",
+                                                self.reconfigure_penalty)
+            if stack is not None:
+                stacks.append(stack)
             previous_mode = mode
             modes.append(mode)
             total_cycles += cycles
             total_instructions += len(region_trace) - region_warmup
+        extra = {
+            "modes": modes,
+            "switches": switches,
+            "fgstp_regions": modes.count("fgstp"),
+            "single_regions": modes.count("single"),
+        }
+        if stacks:
+            extra["cpistack"] = maybe_validate(
+                CPIStack.concat(stacks, machine="fgstp-adaptive")).as_dict()
         return SimResult(
             machine="fgstp-adaptive",
             config=self.base.name,
             workload=workload,
             cycles=total_cycles,
             instructions=total_instructions,
-            extra={
-                "modes": modes,
-                "switches": switches,
-                "fgstp_regions": modes.count("fgstp"),
-                "single_regions": modes.count("single"),
-            },
+            extra=extra,
         )
 
     def _regions(self, trace: Sequence[TraceRecord], warmup: int):
@@ -139,7 +152,7 @@ class AdaptiveFgStpMachine:
             mode = "single"
             result = SingleCoreMachine(self.base).run(
                 region_trace, workload=workload, warmup=region_warmup)
-        return mode, result.cycles
+        return mode, result
 
 
 def simulate_fgstp_adaptive(trace: Sequence[TraceRecord], base: CoreParams,

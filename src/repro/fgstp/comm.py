@@ -41,6 +41,7 @@ class InterCoreQueue:
         self.sends = 0
         self.deliveries = 0
         self.contention_cycles = 0
+        self.mouth_blocked_cycles = 0
 
     def send(self, tag: ValueTag, cycle: int) -> None:
         """Enqueue *tag*'s value, produced at *cycle*."""
@@ -70,8 +71,10 @@ class InterCoreQueue:
             if tag.ready_cycle is None:
                 woken.extend(tag.satisfy(cycle))
         if fifo and fifo[0][0] <= cycle:
-            # More was due than bandwidth allowed this cycle.
-            pass
+            # More was due than bandwidth allowed this cycle: the queue
+            # mouth is saturated and the overflow serialises into later
+            # cycles (the backpressure the E9 bandwidth sweep measures).
+            self.mouth_blocked_cycles += 1
         return woken
 
     def drop_squashed(self) -> int:
@@ -94,4 +97,5 @@ class InterCoreQueue:
             "sends": self.sends,
             "deliveries": self.deliveries,
             "contention_cycles": self.contention_cycles,
+            "mouth_blocked_cycles": self.mouth_blocked_cycles,
         }

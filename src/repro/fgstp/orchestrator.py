@@ -39,6 +39,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.program import INSTRUCTION_BYTES
+from ..stats.cpistack import CPIStack, maybe_validate
 from ..stats.result import SimResult
 from ..trace.record import TraceRecord
 from ..uarch.branch.btb import FrontEndPredictor
@@ -181,7 +182,8 @@ class FgStpMachine:
                 self.cores[uop.core_id].wake(uop)
         # 2. Global in-order commit (multi-pass so replicas and the
         #    cross-core retirement order resolve within one cycle).
-        remaining = [self.base.commit_width, self.base.commit_width]
+        width = self.base.commit_width
+        remaining = [width, width]
         progress = True
         while progress and (remaining[0] > 0 or remaining[1] > 0):
             progress = False
@@ -207,7 +209,34 @@ class FgStpMachine:
         self._feed_cores(now)
         # 7. Global fetch + partition.
         self._global_fetch(now)
+        # 8. Cycle accounting: every commit slot of both cores is
+        #    charged to exactly one cause this cycle.
+        cause = self._frontend_cause(now)
+        for index, core in enumerate(self.cores):
+            core.attribute_cycle(now, width - remaining[index],
+                                 frontend_cause=cause)
         self._maybe_prune()
+
+    def _frontend_cause(self, now: int) -> str:
+        """The global front end's stall cause at *now* (CPI accounting).
+
+        Mirrors :meth:`_global_fetch`'s gating order: redirect
+        (unresolved mispredict or squash-recovery penalty) dominates,
+        then I-cache fill, then the lookahead window limit; trace
+        exhaustion is ``drain``; anything else — e.g. partition/feed
+        latency while a core starves — is plain ``fetch``.
+        """
+        if self._stall_seq is not None:
+            return "redirect"
+        if self._fetch_cursor >= len(self._trace):
+            return "drain"
+        if now < self._fetch_resume_at:
+            return "redirect"
+        if now < self._icache_ready:
+            return "fetch"
+        if self._fetch_cursor - self._global_next >= self.fgstp.window_size:
+            return "window"
+        return "fetch"
 
     # ------------------------------------------------------------------
     # Commit
@@ -522,6 +551,13 @@ class FgStpMachine:
             "core0": self.hierarchies[0].stats(),
             "core1": self.hierarchies[1].stats(),
         }
+        stack = maybe_validate(CPIStack.merge_cores(
+            (CPIStack(machine=core.name, cycles=cycles,
+                      instructions=core.stats.committed,
+                      width=self.base.commit_width,
+                      slots=dict(core.stats.commit_slots))
+             for core in self.cores),
+            machine="fgstp", instructions=total))
         return SimResult(
             machine="fgstp",
             config=self.base.name,
@@ -545,6 +581,7 @@ class FgStpMachine:
                     "mispredict_cycles": self.mispredict_stall_cycles,
                     "window_cycles": self.window_stall_cycles,
                 },
+                "cpistack": stack.as_dict(),
                 "fgstp_params": {
                     "window_size": self.fgstp.window_size,
                     "batch_size": self.fgstp.batch_size,

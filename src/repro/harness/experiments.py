@@ -134,13 +134,21 @@ def e3_partition_characterisation(config: ExperimentConfig
 
 def _sensitivity(config: ExperimentConfig, experiment_id: str, title: str,
                  axis_name: str, points: List[Any],
-                 fgstp_for: Callable[[Any], FgStpParams]
+                 fgstp_for: Callable[[Any], FgStpParams],
+                 extra_column: Optional[str] = None,
+                 extra_of: Optional[Callable[[Any], float]] = None
                  ) -> ExperimentReport:
     """Shared sweep implementation for E4/E5/E9.
 
     The baseline runs and every (sweep point × benchmark) cell are
     submitted as one engine batch; all points of a sensitivity curve
     can simulate concurrently.
+
+    Args:
+        extra_column / extra_of: Optional per-point diagnostic column:
+            *extra_of* maps each Fg-STP :class:`SimResult` to a number
+            and the row reports the sum over the point's benchmarks
+            (E9 uses this to surface queue-mouth backpressure).
     """
     base = config_for("medium")
     names = config.benchmarks or REPRESENTATIVE
@@ -159,16 +167,24 @@ def _sensitivity(config: ExperimentConfig, experiment_id: str, title: str,
         start = len(names) * (offset + 1)
         row: List[Any] = [point]
         speedups = []
+        extra_total = 0.0
         for name, result in zip(names, results[start:start + len(names)]):
             speedup = singles[name].cycles / result.cycles
             speedups.append(speedup)
             row.append(speedup)
+            if extra_of is not None:
+                extra_total += extra_of(result)
         row.append(geomean(speedups))
+        if extra_column is not None:
+            row.append(extra_total)
         rows.append(row)
+    headers = [axis_name] + list(names) + ["geomean"]
+    if extra_column is not None:
+        headers.append(extra_column)
     return ExperimentReport(
         experiment_id=experiment_id,
         title=title,
-        headers=[axis_name] + list(names) + ["geomean"],
+        headers=headers,
         rows=rows,
         notes="Cells are Fg-STP speedup over one core at each sweep point.",
     )
@@ -193,13 +209,22 @@ def e5_window_size(config: ExperimentConfig) -> ExperimentReport:
                                    batch_size=min(64, window)))
 
 
+def _mouth_blocked_cycles(result) -> float:
+    """Total queue-mouth backpressure cycles of one Fg-STP run."""
+    queues = result.extra.get("queues", {})
+    return float(sum(queue.get("mouth_blocked_cycles", 0)
+                     for queue in queues.values()))
+
+
 def e9_comm_bandwidth(config: ExperimentConfig) -> ExperimentReport:
     """E9: inter-core queue bandwidth sensitivity."""
     return _sensitivity(
         config, "E9",
         "Fg-STP speedup vs. queue bandwidth (medium config)",
         "queue_bandwidth", [1, 2, 4],
-        lambda bandwidth: FgStpParams(queue_bandwidth=bandwidth))
+        lambda bandwidth: FgStpParams(queue_bandwidth=bandwidth),
+        extra_column="mouth_blocked",
+        extra_of=_mouth_blocked_cycles)
 
 
 def e6_dependence_speculation(config: ExperimentConfig) -> ExperimentReport:

@@ -190,7 +190,12 @@ def _call_with_timeout(function: Callable[[SweepJob], SimResult],
 # Outcome bookkeeping
 # ----------------------------------------------------------------------
 
-_RESULT_CACHE_VERSION = 1
+#: Schema version of cached :class:`SimResult` entries.  Part of every
+#: job's cache key, so bumping it orphans (rather than serves) entries
+#: produced by older code.  v2: results carry ``extra["cpistack"]``
+#: (cycle-accounting CPI stacks) and queue stats gained
+#: ``mouth_blocked_cycles``.
+_RESULT_CACHE_VERSION = 2
 
 
 @dataclass

@@ -9,8 +9,10 @@ engine's progress/cache metrics).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
+from ..stats.cpistack import CAUSES, CPIStack, cpistack_of, stack_rows
+from ..stats.result import SimResult
 from ..stats.tables import render_table
 from .config import ExperimentConfig
 from .experiments import REGISTRY, ExperimentReport, run_experiment
@@ -87,3 +89,83 @@ def sweep_to_text(outcome: SweepOutcome, precision: int = 3) -> str:
 def sweep_to_markdown(outcome: SweepOutcome) -> str:
     """Markdown section for one sweep outcome (EXPERIMENTS.md style)."""
     return "### Sweep\n\n```text\n" + sweep_to_text(outcome) + "\n```\n"
+
+
+# ----------------------------------------------------------------------
+# CPI stacks (see docs/cpistack.md)
+# ----------------------------------------------------------------------
+
+def cpistack_table(stack: CPIStack, title: Optional[str] = None,
+                   precision: int = 3) -> str:
+    """One machine's CPI stack as a plain-text table.
+
+    Rows are the populated causes in taxonomy order; the trailing total
+    line restates the ledger invariant (component cycles sum exactly to
+    measured cycles).
+    """
+    rows = stack_rows(stack)
+    table = render_table(
+        ["cause", "slots", "cycles", "cpi", "pct"], rows,
+        precision=precision,
+        title=title or (f"{stack.machine} CPI stack "
+                        f"({stack.instructions} instructions)"))
+    total_cycles = sum(stack.slots.values()) / stack.width
+    return (f"{table}\n  total: {total_cycles:g} cycles over "
+            f"{stack.cycles} measured "
+            f"(cpi={stack.cpi:.{precision}f}, "
+            f"stall={stack.stall_fraction:.1%})")
+
+
+def cpistack_comparison(stacks: Mapping[str, CPIStack],
+                        title: str = "CPI components",
+                        precision: int = 3) -> str:
+    """Side-by-side per-cause CPI components of several machines.
+
+    One row per cause that is populated on any machine, one column per
+    machine — the directly comparable view the headline experiments
+    reason from (where do Fg-STP's cycles go vs. Core Fusion's?).
+    """
+    machines = list(stacks)
+    components = {name: stacks[name].cpi_by_cause() for name in machines}
+    rows: List[List[object]] = []
+    for cause in CAUSES:
+        if not any(components[name].get(cause) for name in machines):
+            continue
+        rows.append([cause] + [components[name].get(cause, 0.0)
+                               for name in machines])
+    rows.append(["total"] + [stacks[name].cpi for name in machines])
+    return render_table(["cause"] + machines, rows, precision=precision,
+                        title=title)
+
+
+def cpistacks_to_markdown(suites: Mapping[str, Mapping[str, SimResult]]
+                          ) -> str:
+    """Per-benchmark CPI-stack comparison tables, as markdown.
+
+    Args:
+        suites: ``machine -> benchmark -> SimResult`` (the shape
+            :func:`repro.harness.parallel.run_suites` returns).
+    """
+    benchmarks: List[str] = []
+    for results in suites.values():
+        for name in results:
+            if name not in benchmarks:
+                benchmarks.append(name)
+    sections = ["### CPI stacks", ""]
+    for benchmark in benchmarks:
+        stacks: Dict[str, CPIStack] = {}
+        for machine, results in suites.items():
+            result = results.get(benchmark)
+            stack = cpistack_of(result) if result is not None else None
+            if stack is not None:
+                stacks[machine] = stack
+        if not stacks:
+            continue
+        sections.append(f"#### {benchmark}")
+        sections.append("")
+        sections.append("```text")
+        sections.append(cpistack_comparison(
+            stacks, title=f"{benchmark}: CPI by cause"))
+        sections.append("```")
+        sections.append("")
+    return "\n".join(sections)

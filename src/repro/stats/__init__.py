@@ -1,5 +1,11 @@
 """Results, aggregation and table rendering shared by all experiments."""
 
+from .cpistack import (
+    CAUSES,
+    AttributionError,
+    CPIStack,
+    cpistack_of,
+)
 from .energy import (
     DEFAULT_ENERGY_WEIGHTS,
     DEFAULT_STATIC_PER_CORE_CYCLE,
@@ -19,6 +25,10 @@ from .store import ResultStore
 from .tables import format_cell, render_table
 
 __all__ = [
+    "CAUSES",
+    "AttributionError",
+    "CPIStack",
+    "cpistack_of",
     "DEFAULT_ENERGY_WEIGHTS",
     "DEFAULT_STATIC_PER_CORE_CYCLE",
     "EnergyReport",

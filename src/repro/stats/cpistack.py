@@ -1,0 +1,309 @@
+"""Cycle-accounting CPI stacks with one-cycle-one-cause attribution.
+
+A :class:`CPIStack` is the machine-independent ledger of where a run's
+cycles went.  The unit of accounting is the **commit slot**: a machine
+that can retire ``width`` instructions per cycle has ``cycles * width``
+slots over a run, and every slot is charged to exactly one cause —
+either it retired an instruction (``retire``) or it was empty for a
+specific, attributable reason (see :data:`CAUSES`).  Integer slot
+counts make the accounting exact: the defining invariant is
+
+    ``sum(slots.values()) == cycles * width``
+
+which :meth:`CPIStack.validate` enforces.  Because the reference
+configurations all have power-of-two commit widths, the per-cause cycle
+components (``slots / width``) are exact in floating point too, and sum
+exactly to the measured cycle count.
+
+All three timing models produce a stack (``single`` via
+:class:`repro.uarch.pipeline.machine.SingleCoreMachine`, ``corefusion``
+through the same runner, ``fgstp`` by merging its two cores'
+same-length ledgers, and ``fgstp-adaptive`` by concatenating its
+regions), carried in ``SimResult.extra["cpistack"]``.
+
+Attribution taxonomy and priority are documented in
+``docs/cpistack.md``; the per-cycle charging itself lives in
+:meth:`repro.uarch.pipeline.core.CycleCore.attribute_cycle`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+#: Environment variable; when truthy every machine validates its stack
+#: at the end of each run (set by the test suite's conftest, so the
+#: whole tier-1 battery enforces the invariant on every simulated run).
+DEBUG_ENV = "REPRO_CPISTACK_CHECK"
+
+#: Every cause a commit slot can be charged to, in display order.
+CAUSES = (
+    "retire",          # slot retired an instruction
+    "fetch",           # front end empty: I-cache miss / fill / feed latency
+    "redirect",        # branch-mispredict resolution + redirect penalty
+    "window",          # Fg-STP lookahead window full (fetch gated)
+    "rob_full",        # dispatch blocked: reorder buffer full
+    "iq_full",         # dispatch blocked: issue queue full
+    "lsq_full",        # dispatch blocked: load/store queue full
+    "load_miss",       # oldest instruction is a load beyond L1 latency
+    "exec",            # execution latency / dependence chains / FU contention
+    "intercore_wait",  # waiting on the other core: value queue or commit gate
+    "reconfig",        # adaptive mode-switch penalty cycles
+    "drain",           # trace exhausted; pipeline emptying
+)
+
+#: Causes that represent stalled (non-retiring) slots.
+STALL_CAUSES = tuple(cause for cause in CAUSES if cause != "retire")
+
+
+class AttributionError(RuntimeError):
+    """The cycle ledger does not balance (a slot was lost or
+    double-charged) — by construction this is a model bug."""
+
+
+@dataclass
+class CPIStack:
+    """Where the cycles of one run went, in commit-slot units.
+
+    Attributes:
+        machine: Machine label (``"single"`` / ``"corefusion"`` /
+            ``"fgstp"`` / ``"fgstp-adaptive"``).
+        cycles: Total machine cycles of the run.
+        instructions: Architectural instructions retired (Fg-STP
+            replicas count once, matching :class:`SimResult`).
+        width: Commit slots per machine cycle (the sum of all cores'
+            commit widths for multi-core machines).
+        slots: Cause -> integer slot count.  Unknown causes are
+            rejected by :meth:`validate`.
+    """
+
+    machine: str
+    cycles: int
+    instructions: int
+    width: int
+    slots: Dict[str, int] = field(default_factory=dict)
+
+    # -- invariants ----------------------------------------------------
+
+    def validate(self) -> "CPIStack":
+        """Check the one-cycle-one-cause invariant; returns ``self``.
+
+        Raises:
+            AttributionError: when the attributed slots do not sum to
+                ``cycles * width``, any count is negative, or an
+                unknown cause appears.
+        """
+        if self.width <= 0:
+            raise AttributionError(
+                f"{self.machine}: non-positive commit width {self.width}")
+        unknown = sorted(set(self.slots) - set(CAUSES))
+        if unknown:
+            raise AttributionError(
+                f"{self.machine}: unknown stall cause(s) {unknown}")
+        negative = {cause: count for cause, count in self.slots.items()
+                    if count < 0}
+        if negative:
+            raise AttributionError(
+                f"{self.machine}: negative slot counts {negative}")
+        total = sum(self.slots.values())
+        expected = self.cycles * self.width
+        if total != expected:
+            raise AttributionError(
+                f"{self.machine}: attributed {total} slots over "
+                f"{self.cycles} cycles x width {self.width} "
+                f"(expected {expected}; delta {total - expected})")
+        retired = self.slots.get("retire", 0)
+        if self.machine == "single" and retired != self.instructions:
+            raise AttributionError(
+                f"single: {retired} retire slots but "
+                f"{self.instructions} instructions")
+        return self
+
+    # -- derived views -------------------------------------------------
+
+    def cycles_by_cause(self) -> Dict[str, float]:
+        """Per-cause cycle components (``slots / width``).
+
+        With a power-of-two width these are exact floats and sum
+        exactly to :attr:`cycles` (asserted by the integration tests).
+        """
+        return {cause: self.slots.get(cause, 0) / self.width
+                for cause in CAUSES if self.slots.get(cause, 0)}
+
+    def cpi_by_cause(self) -> Dict[str, float]:
+        """Per-cause CPI contribution (cycles per retired instruction)."""
+        if not self.instructions:
+            return {}
+        return {cause: cycles / self.instructions
+                for cause, cycles in self.cycles_by_cause().items()}
+
+    @property
+    def cpi(self) -> float:
+        """Overall cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of commit slots that retired nothing."""
+        total = self.cycles * self.width
+        if not total:
+            return 0.0
+        return 1.0 - self.slots.get("retire", 0) / total
+
+    # -- composition ---------------------------------------------------
+
+    def scaled(self, width: int) -> "CPIStack":
+        """This ledger re-expressed at a wider (multiple) slot width.
+
+        Raises:
+            ValueError: when *width* is not a positive multiple of the
+                current width.
+        """
+        if width <= 0 or width % self.width:
+            raise ValueError(
+                f"cannot rescale width {self.width} ledger to {width}")
+        factor = width // self.width
+        return CPIStack(machine=self.machine, cycles=self.cycles,
+                        instructions=self.instructions, width=width,
+                        slots={cause: count * factor
+                               for cause, count in self.slots.items()})
+
+    @staticmethod
+    def merge_cores(stacks: Iterable["CPIStack"], machine: str,
+                    instructions: int) -> "CPIStack":
+        """Merge per-core ledgers of the *same* run into one machine view.
+
+        All cores attribute every cycle of the same run, so cycles must
+        agree; widths add (the machine has the union of commit slots).
+
+        Raises:
+            ValueError: on an empty input or mismatched cycle counts.
+        """
+        stacks = list(stacks)
+        if not stacks:
+            raise ValueError("merge_cores needs at least one stack")
+        cycles = stacks[0].cycles
+        if any(stack.cycles != cycles for stack in stacks):
+            raise ValueError(
+                f"merge_cores across different runs: "
+                f"{[stack.cycles for stack in stacks]}")
+        slots: Counter = Counter()
+        for stack in stacks:
+            slots.update(stack.slots)
+        return CPIStack(machine=machine, cycles=cycles,
+                        instructions=instructions,
+                        width=sum(stack.width for stack in stacks),
+                        slots=dict(slots))
+
+    @staticmethod
+    def concat(stacks: Iterable["CPIStack"], machine: str) -> "CPIStack":
+        """Concatenate ledgers of *sequential* phases (adaptive regions).
+
+        Cycles and instructions add; mixed widths are unified at their
+        least common multiple so slot counts stay integral.
+
+        Raises:
+            ValueError: on an empty input.
+        """
+        stacks = list(stacks)
+        if not stacks:
+            raise ValueError("concat needs at least one stack")
+        width = 1
+        for stack in stacks:
+            width = math.lcm(width, stack.width)
+        slots: Counter = Counter()
+        cycles = 0
+        instructions = 0
+        for stack in stacks:
+            scaled = stack.scaled(width)
+            slots.update(scaled.slots)
+            cycles += scaled.cycles
+            instructions += scaled.instructions
+        return CPIStack(machine=machine, cycles=cycles,
+                        instructions=instructions, width=width,
+                        slots=dict(slots))
+
+    def with_overhead(self, cause: str, cycles: int) -> "CPIStack":
+        """A copy with *cycles* whole stall cycles of *cause* appended.
+
+        Used for costs charged outside any core's pipeline (the
+        adaptive machine's reconfiguration penalty): the added cycles
+        enlarge the run and every added slot carries the given cause.
+        """
+        if cycles < 0:
+            raise ValueError(f"negative overhead cycles: {cycles}")
+        if not cycles:
+            return self
+        slots = dict(self.slots)
+        slots[cause] = slots.get(cause, 0) + cycles * self.width
+        return CPIStack(machine=self.machine, cycles=self.cycles + cycles,
+                        instructions=self.instructions, width=self.width,
+                        slots=slots)
+
+    # -- (de)serialisation ---------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "width": self.width,
+            "slots": {cause: count for cause, count in self.slots.items()
+                      if count},
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "CPIStack":
+        return cls(machine=record["machine"], cycles=record["cycles"],
+                   instructions=record["instructions"],
+                   width=record["width"],
+                   slots=dict(record.get("slots", {})))
+
+
+def debug_checks_enabled() -> bool:
+    """True when the ``REPRO_CPISTACK_CHECK`` debug flag is set."""
+    return os.environ.get(DEBUG_ENV, "") not in ("", "0", "false", "no")
+
+
+def maybe_validate(stack: CPIStack) -> CPIStack:
+    """Validate *stack* when the debug flag is on; always returns it.
+
+    Machines call this on every run so the test suite (which sets the
+    flag) enforces the ledger invariant on every simulated cycle,
+    while plain production runs skip the check.
+    """
+    if debug_checks_enabled():
+        stack.validate()
+    return stack
+
+
+def cpistack_of(result: Any) -> Optional[CPIStack]:
+    """Extract the CPI stack carried by a :class:`SimResult`.
+
+    Returns:
+        The deserialised stack, or ``None`` for results predating the
+        cycle-accounting layer (or empty-trace runs, which have no
+        cycles to attribute).
+    """
+    record = getattr(result, "extra", {}).get("cpistack")
+    if not record:
+        return None
+    return CPIStack.from_dict(record)
+
+
+def stack_rows(stack: CPIStack) -> List[List[Any]]:
+    """Table rows (cause, slots, cycles, cpi, pct) in display order."""
+    rows: List[List[Any]] = []
+    components = stack.cycles_by_cause()
+    for cause in CAUSES:
+        count = stack.slots.get(cause, 0)
+        if not count:
+            continue
+        cycles = components[cause]
+        cpi = cycles / stack.instructions if stack.instructions else 0.0
+        pct = 100.0 * cycles / stack.cycles if stack.cycles else 0.0
+        rows.append([cause, count, cycles, cpi, pct])
+    return rows

@@ -107,12 +107,34 @@ class CacheHierarchy:
                 "miss_rate": stats.miss_rate,
                 "writebacks": stats.writebacks,
             }
-        return {
+        record = {
             "l1d": level(self.l1d),
             "l1i": level(self.l1i),
             "l2": level(self.l2),
             "d_mshr_stall_cycles": self.d_mshrs.stall_cycles,
         }
+        prefetcher = getattr(self, "prefetcher", None)
+        if prefetcher is not None:
+            record["prefetcher"] = prefetcher.stats()
+        return record
+
+    def reset_stats(self) -> None:
+        """Zero every statistic counter in the hierarchy.
+
+        Covers the per-level cache counters *and* the MSHR stall
+        counter and any attached prefetcher's counters — unlike
+        resetting the :class:`CacheStats` objects one by one, which is
+        how warm-up used to silently leak those into measured results.
+        Cache contents, MSHR occupancy and prefetcher training are
+        untouched: this separates *measurement* from *state*.
+        """
+        self.l1d.stats = CacheStats()
+        self.l1i.stats = CacheStats()
+        self.l2.stats = CacheStats()
+        self.d_mshrs.stall_cycles = 0
+        prefetcher = getattr(self, "prefetcher", None)
+        if prefetcher is not None:
+            prefetcher.reset_stats()
 
     def reset(self) -> None:
         """Invalidate everything (machine reconfiguration)."""

@@ -90,6 +90,11 @@ class StridePrefetcher:
                 self.prefetches += 1
         return issued
 
+    def reset_stats(self) -> None:
+        """Zero the issue counters; keep the trained stride table."""
+        self.prefetches = 0
+        self.useful_hint = 0
+
     def stats(self) -> dict:
         return {
             "prefetches": self.prefetches,

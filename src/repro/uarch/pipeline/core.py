@@ -52,7 +52,7 @@ class CoreStats:
 
     __slots__ = ("committed", "dispatched", "issued", "squashed_uops",
                  "load_forwards", "rob_full_stalls", "iq_full_stalls",
-                 "lsq_full_stalls", "cycles_active")
+                 "lsq_full_stalls", "cycles_active", "commit_slots")
 
     def __init__(self):
         self.committed = 0
@@ -64,9 +64,22 @@ class CoreStats:
         self.iq_full_stalls = 0
         self.lsq_full_stalls = 0
         self.cycles_active = 0
+        #: Cycle-accounting ledger: cause -> commit slots charged to it
+        #: (see :mod:`repro.stats.cpistack` for the taxonomy and the
+        #: sum-to-total invariant).
+        self.commit_slots: Dict[str, int] = {}
+
+    def charge_slots(self, cause: str, count: int) -> None:
+        """Charge *count* commit slots to *cause* in the cycle ledger."""
+        if count:
+            self.commit_slots[cause] = \
+                self.commit_slots.get(cause, 0) + count
 
     def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        record = {name: getattr(self, name) for name in self.__slots__
+                  if name != "commit_slots"}
+        record["commit_slots"] = dict(self.commit_slots)
+        return record
 
 
 class CycleCore:
@@ -122,6 +135,7 @@ class CycleCore:
         self._store_map: Dict[int, Uop] = {}   # address -> in-flight store
         self._next_cluster = 0
         self._cluster_dispatched = [0] * num_clusters
+        self._dispatch_blocked: Optional[str] = None  # this cycle's cause
 
     # ------------------------------------------------------------------
     # Feeding (called by a fetch unit / orchestrator)
@@ -309,16 +323,20 @@ class CycleCore:
         width = self.params.fetch_width  # dispatch width == front width
         params = self.params
         self._cluster_dispatched = [0] * self.num_clusters
+        self._dispatch_blocked = None
         while self._fetch_buffer and dispatched < width:
             uop = self._fetch_buffer[0]
             if len(self._rob) >= params.rob_entries:
                 self.stats.rob_full_stalls += 1
+                self._dispatch_blocked = "rob_full"
                 break
             if self._iq_count >= params.iq_entries:
                 self.stats.iq_full_stalls += 1
+                self._dispatch_blocked = "iq_full"
                 break
             if uop.is_memory and self._lsq_count >= params.lsq_entries:
                 self.stats.lsq_full_stalls += 1
+                self._dispatch_blocked = "lsq_full"
                 break
             self._fetch_buffer.popleft()
             self._dispatch_one(uop, cycle)
@@ -386,6 +404,71 @@ class CycleCore:
         uop.operand_ready = max(uop.operand_ready, ready_max)
         if pending == 0:
             self._enqueue_ready(uop)
+
+    # ------------------------------------------------------------------
+    # Cycle accounting (CPI-stack attribution)
+    # ------------------------------------------------------------------
+
+    def attribute_cycle(self, cycle: int, committed: int,
+                        frontend_cause: str = "fetch") -> None:
+        """Charge this cycle's ``commit_width`` slots, one cause each.
+
+        Called by the owning machine exactly once per simulated cycle,
+        after every pipeline phase has run.  ``committed`` slots are
+        charged to ``retire``; the remaining empty slots are charged to
+        a single cause chosen by blaming the oldest in-flight
+        instruction (the ROB head), falling back to *frontend_cause*
+        when the core is empty:
+
+        1. head completed earlier but still here — only an external
+           commit gate can hold a finished head, so ``intercore_wait``;
+        2. head is a load executing beyond the L1 hit latency —
+           ``load_miss``;
+        3. head waits on an unsatisfied inter-core value —
+           ``intercore_wait``;
+        4. dispatch stalled this cycle on a full window structure —
+           ``rob_full`` / ``iq_full`` / ``lsq_full``;
+        5. otherwise — ``exec`` (FU latency, dependence chains, issue
+           contention);
+        empty core — *frontend_cause* (``fetch`` / ``redirect`` /
+        ``window`` / ``drain``, supplied by the front end).
+
+        The sum of all charges is ``cycles * commit_width`` by
+        construction, which :class:`repro.stats.cpistack.CPIStack`
+        verifies.
+        """
+        stats = self.stats
+        width = self.params.commit_width
+        if committed or self._rob or self._fetch_buffer:
+            stats.cycles_active += 1
+        stats.charge_slots("retire", committed)
+        empty = width - committed
+        if empty <= 0:
+            return
+        head = self._rob[0] if self._rob else None
+        if head is None:
+            cause = frontend_cause
+        elif head.state == COMPLETED:
+            if head.complete_cycle >= cycle:
+                cause = "exec"  # finished this cycle; retires next
+            else:
+                cause = "intercore_wait"  # held by the global commit gate
+        elif head.state == ISSUED:
+            latency = head.complete_cycle - head.issue_cycle
+            if (head.record.is_load and not head.forwarded
+                    and latency > self.params.l1d.hit_latency):
+                cause = "load_miss"
+            else:
+                cause = "exec"
+        else:  # DISPATCHED: waiting on operands or issue bandwidth
+            if any(tag.ready_cycle is None or tag.ready_cycle > cycle
+                   for tag in head.extra_deps):
+                cause = "intercore_wait"
+            elif self._dispatch_blocked is not None:
+                cause = self._dispatch_blocked
+            else:
+                cause = "exec"
+        stats.charge_slots(cause, empty)
 
     def _steer(self, uop: Uop) -> int:
         """Cluster steering for fused (multi-cluster) operation.

@@ -49,6 +49,20 @@ class SelfFetchUnit:
         """True once the whole trace has been fetched."""
         return self._cursor >= len(self.trace)
 
+    def stall_cause(self, cycle: int) -> str:
+        """Why the front end is (or would be) idle at *cycle*.
+
+        Used for CPI-stack attribution when the core has emptied: a
+        pending mispredict redirect dominates, then trace exhaustion
+        (``drain``), then I-cache fill / plain fetch latency (both
+        reported as ``fetch``).
+        """
+        if self._stall_on is not None:
+            return "redirect"
+        if self.done():
+            return "drain"
+        return "fetch"
+
     def phase_fetch(self, cycle: int) -> int:
         """Fetch up to ``fetch_width`` instructions at *cycle*.
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ...stats.cpistack import CPIStack, maybe_validate
 from ...stats.result import SimResult
 from ...trace.record import TraceRecord
 from ..branch.btb import FrontEndPredictor
@@ -82,13 +83,20 @@ class SingleCoreMachine:
                 raise RuntimeError(
                     f"{self.machine_label}: exceeded {self.max_cycles} "
                     f"cycles with {committed}/{total} committed")
-            committed += len(core.phase_commit(cycle))
+            retired = len(core.phase_commit(cycle))
+            committed += retired
             core.phase_complete(cycle)
             core.phase_issue(cycle)
             core.phase_dispatch(cycle)
             fetch.phase_fetch(cycle)
+            core.attribute_cycle(cycle, retired,
+                                 frontend_cause=fetch.stall_cause(cycle))
             cycle += 1
         core.drain_check()
+        stack = maybe_validate(CPIStack(
+            machine=self.machine_label, cycles=cycle,
+            instructions=committed, width=self.params.commit_width,
+            slots=dict(core.stats.commit_slots)))
         return SimResult(
             machine=self.machine_label,
             config=self.params.name,
@@ -107,6 +115,7 @@ class SingleCoreMachine:
                     "fetched": fetch.fetched,
                     "mispredict_stall_cycles": fetch.mispredict_stalls,
                 },
+                "cpistack": stack.as_dict(),
             },
         )
 

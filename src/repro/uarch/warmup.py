@@ -47,9 +47,10 @@ def warm_state(records: Sequence[TraceRecord],
         predictor.lookups = 0
         predictor.mispredictions = 0
     if hierarchy is not None:
-        hierarchy.l1i.stats.__init__()
-        hierarchy.l1d.stats.__init__()
-        hierarchy.l2.stats.__init__()
+        # A full counter reset: per-level cache stats, MSHR stall
+        # cycles and prefetcher counters.  (Re-initialising the three
+        # CacheStats objects in place used to skip the latter two.)
+        hierarchy.reset_stats()
 
 
 def reseq(records: Sequence[TraceRecord]) -> List[TraceRecord]:

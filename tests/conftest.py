@@ -5,9 +5,16 @@ must be fast.  Integration tests that need realistic sizes scale up
 explicitly.
 """
 
+import os
+
 import pytest
 
 from repro.isa.opcodes import OpClass
+
+# Every machine run in the test suite validates its CPI-stack ledger
+# (attributed commit slots must sum to cycles x width); worker
+# processes spawned by the parallel engine inherit the flag.
+os.environ.setdefault("REPRO_CPISTACK_CHECK", "1")
 from repro.trace.record import TraceRecord
 from repro.uarch.params import medium_core_config, small_core_config
 

@@ -76,7 +76,37 @@ def test_stats():
     queue.send(tag, 0)
     queue.deliver(2)
     assert queue.stats() == {"sends": 1, "deliveries": 1,
-                             "contention_cycles": 0}
+                             "contention_cycles": 0,
+                             "mouth_blocked_cycles": 0}
+
+
+def test_mouth_blocked_counts_saturated_cycles():
+    """A delivery cycle that leaves due entries behind is mouth-blocked."""
+    queue = InterCoreQueue(latency=1, bandwidth=2)
+    tags = []
+    for i in range(5):
+        tag, _ = tag_with_consumer(i)
+        tags.append(tag)
+        queue.send(tag, 0)
+    # Cycle 1: 5 due, 2 delivered, 3 left behind -> blocked.
+    queue.deliver(1)
+    assert queue.mouth_blocked_cycles == 1
+    # Cycle 2: 3 due, 2 delivered, 1 left behind -> blocked.
+    queue.deliver(2)
+    assert queue.mouth_blocked_cycles == 2
+    # Cycle 3: final entry fits in bandwidth -> not blocked.
+    queue.deliver(3)
+    assert queue.mouth_blocked_cycles == 2
+    assert all(tag.ready_cycle is not None for tag in tags)
+    assert queue.stats()["mouth_blocked_cycles"] == 2
+
+
+def test_mouth_not_blocked_when_nothing_due():
+    queue = InterCoreQueue(latency=10, bandwidth=1)
+    tag, _ = tag_with_consumer()
+    queue.send(tag, 0)
+    queue.deliver(5)  # entry pending but not yet due
+    assert queue.mouth_blocked_cycles == 0
 
 
 def test_drop_squashed_removes_satisfied():

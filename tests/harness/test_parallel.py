@@ -231,6 +231,42 @@ def test_parallel_sweep_is_2x_faster_on_4_cores(tmp_path):
         f"parallel {parallel_wall:.2f}s vs serial {serial_wall:.2f}s"
 
 
+# -- cache schema versioning --------------------------------------------
+
+def test_schema_bump_regenerates_stale_cached_results(tmp_path,
+                                                      monkeypatch):
+    """Results cached by older code must be re-run, not served stale.
+
+    Simulates a pre-upgrade cache by writing entries under schema
+    version 1, then checks that the current version ignores them and
+    regenerates results that carry the new ``cpistack`` payload.
+    """
+    import repro.harness.parallel as parallel_mod
+
+    jobs = small_matrix(benchmarks=("gcc",), seeds=(1,),
+                        machines=("single",))
+    cache_dir = tmp_path / "cache"
+
+    monkeypatch.setattr(parallel_mod, "_RESULT_CACHE_VERSION", 1)
+    stale_key = jobs[0].key()
+    old = ExperimentEngine(max_workers=1, cache_dir=cache_dir).run(jobs)
+    assert old.ok and old.metrics.result_cache_hits == 0
+
+    monkeypatch.undo()
+    assert jobs[0].key() != stale_key  # the version is part of the key
+    fresh = ExperimentEngine(max_workers=1, cache_dir=cache_dir).run(jobs)
+    assert fresh.ok
+    # Old entries are orphaned: nothing was served from the cache.
+    assert fresh.metrics.result_cache_hits == 0
+    assert fresh.metrics.jobs_done == len(jobs)
+    assert "cpistack" in fresh.results[0].extra
+
+    # And the regenerated entries are served on the next run.
+    again = ExperimentEngine(max_workers=1, cache_dir=cache_dir).run(jobs)
+    assert again.metrics.result_cache_hits == len(jobs)
+    assert "cpistack" in again.results[0].extra
+
+
 # -- job identity -------------------------------------------------------
 
 def test_job_keys_separate_every_axis():

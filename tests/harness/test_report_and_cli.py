@@ -52,6 +52,46 @@ def test_cli_simulate_unknown_benchmark(capsys):
                  "--warmup", "100"]) == 2
 
 
+def test_cli_profile_prints_balanced_stacks(capsys):
+    assert main(["profile", "gcc", "--config", "small",
+                 "--length", "1500", "--warmup", "500"]) == 0
+    out = capsys.readouterr().out
+    # One stack table per machine plus the comparison table.
+    assert "gcc on single" in out
+    assert "gcc on corefusion" in out
+    assert "gcc on fgstp" in out
+    assert "gcc: CPI by cause" in out
+    assert "retire" in out and "load_miss" in out
+    # Each machine's total line restates the exact-sum ledger check.
+    assert out.count("measured") == 3
+
+
+def test_cli_profile_unknown_benchmark_is_usage_error(capsys):
+    assert main(["profile", "nope", "--length", "1000",
+                 "--warmup", "100"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_cli_run_unknown_experiment_is_usage_error(capsys):
+    """cmd_run used to crash with a KeyError; now exit code 2."""
+    assert main(["run", "E999"] + TINY) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_validate_unknown_benchmark_is_usage_error(capsys):
+    """cmd_validate used to crash deep in trace generation; now 2."""
+    assert main(["validate", "--benchmarks", "nope",
+                 "--length", "1000", "--warmup", "100"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_cli_usage_errors_exit_2():
+    """argparse-level errors share the usage exit code."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code == 2
+
+
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,196 @@
+"""Unit tests for the CPI-stack ledger (repro.stats.cpistack)."""
+
+import pytest
+
+from repro.stats.cpistack import (
+    CAUSES,
+    STALL_CAUSES,
+    AttributionError,
+    CPIStack,
+    cpistack_of,
+    debug_checks_enabled,
+    maybe_validate,
+    stack_rows,
+)
+from repro.stats.result import SimResult
+
+
+def make_stack(machine="single", cycles=10, instructions=12, width=2,
+               slots=None):
+    if slots is None:
+        slots = {"retire": 12, "exec": 5, "load_miss": 3}
+    return CPIStack(machine=machine, cycles=cycles,
+                    instructions=instructions, width=width, slots=slots)
+
+
+# ---------------------------------------------------------------- validate
+
+def test_validate_balanced_ledger():
+    stack = make_stack()
+    assert stack.validate() is stack
+
+
+def test_validate_rejects_unbalanced_ledger():
+    stack = make_stack(slots={"retire": 12, "exec": 5})  # 17 != 20
+    with pytest.raises(AttributionError, match="delta -3"):
+        stack.validate()
+
+
+def test_validate_rejects_unknown_cause():
+    stack = make_stack(slots={"retire": 12, "mystery": 8})
+    with pytest.raises(AttributionError, match="mystery"):
+        stack.validate()
+
+
+def test_validate_rejects_negative_counts():
+    stack = make_stack(slots={"retire": 25, "exec": -5})
+    with pytest.raises(AttributionError, match="negative"):
+        stack.validate()
+
+
+def test_validate_rejects_bad_width():
+    with pytest.raises(AttributionError, match="width"):
+        make_stack(width=0, slots={}).validate()
+
+
+def test_validate_single_pins_retire_to_instructions():
+    stack = make_stack(machine="single", instructions=11,
+                       slots={"retire": 12, "exec": 8})
+    with pytest.raises(AttributionError, match="11 instructions"):
+        stack.validate()
+
+
+def test_taxonomy_is_retire_plus_stalls():
+    assert "retire" in CAUSES
+    assert set(STALL_CAUSES) == set(CAUSES) - {"retire"}
+
+
+# ---------------------------------------------------------- derived views
+
+def test_components_sum_exactly_to_cycles():
+    stack = make_stack().validate()
+    assert sum(stack.cycles_by_cause().values()) == stack.cycles
+
+
+def test_cpi_by_cause_sums_to_cpi():
+    stack = make_stack().validate()
+    assert sum(stack.cpi_by_cause().values()) == pytest.approx(stack.cpi)
+
+
+def test_stall_fraction():
+    stack = make_stack()
+    assert stack.stall_fraction == pytest.approx(1 - 12 / 20)
+    empty = make_stack(cycles=0, instructions=0, slots={})
+    assert empty.stall_fraction == 0.0
+    assert empty.cpi == 0.0
+
+
+def test_stack_rows_follow_display_order_and_skip_zeros():
+    stack = make_stack(slots={"retire": 12, "load_miss": 3, "exec": 5,
+                              "drain": 0})
+    causes = [row[0] for row in stack_rows(stack)]
+    assert causes == ["retire", "load_miss", "exec"]
+
+
+# ----------------------------------------------------------- composition
+
+def test_scaled_preserves_the_ledger():
+    # Not "single": rescaling multiplies retire slots, so the strict
+    # single-machine retire==instructions check only holds natively.
+    stack = make_stack(machine="fgstp").validate()
+    wide = stack.scaled(8).validate()
+    assert wide.width == 8
+    assert wide.cycles == stack.cycles
+    assert wide.slots["retire"] == 4 * stack.slots["retire"]
+    with pytest.raises(ValueError):
+        stack.scaled(3)
+    with pytest.raises(ValueError):
+        stack.scaled(0)
+
+
+def test_merge_cores_adds_widths_same_cycles():
+    core0 = make_stack(machine="core0",
+                       slots={"retire": 12, "exec": 8})
+    core1 = make_stack(machine="core1", instructions=4,
+                       slots={"retire": 4, "intercore_wait": 16})
+    merged = CPIStack.merge_cores([core0, core1], machine="fgstp",
+                                  instructions=16).validate()
+    assert merged.width == 4
+    assert merged.cycles == 10
+    assert merged.slots == {"retire": 16, "exec": 8, "intercore_wait": 16}
+
+
+def test_merge_cores_rejects_mismatched_runs():
+    with pytest.raises(ValueError):
+        CPIStack.merge_cores([make_stack(cycles=10), make_stack(cycles=11)],
+                             machine="fgstp", instructions=0)
+    with pytest.raises(ValueError):
+        CPIStack.merge_cores([], machine="fgstp", instructions=0)
+
+
+def test_concat_unifies_widths_at_lcm():
+    narrow = make_stack(width=2, cycles=10,
+                        slots={"retire": 12, "exec": 8}).validate()
+    wide = make_stack(width=4, cycles=5, instructions=8,
+                      slots={"retire": 8, "load_miss": 12}).validate()
+    joined = CPIStack.concat([narrow, wide], machine="fgstp-adaptive")
+    joined.validate()
+    assert joined.width == 4
+    assert joined.cycles == 15
+    assert joined.instructions == 20
+    assert joined.slots["retire"] == 2 * 12 + 8
+    with pytest.raises(ValueError):
+        CPIStack.concat([], machine="fgstp-adaptive")
+
+
+def test_with_overhead_charges_whole_cycles():
+    stack = make_stack().validate()
+    padded = stack.with_overhead("reconfig", 3).validate()
+    assert padded.cycles == 13
+    assert padded.slots["reconfig"] == 3 * stack.width
+    assert stack.with_overhead("reconfig", 0) is stack
+    with pytest.raises(ValueError):
+        stack.with_overhead("reconfig", -1)
+
+
+# ------------------------------------------------------- (de)serialisation
+
+def test_dict_roundtrip_drops_zero_counts():
+    stack = make_stack(slots={"retire": 12, "exec": 8, "drain": 0})
+    record = stack.as_dict()
+    assert "drain" not in record["slots"]
+    again = CPIStack.from_dict(record)
+    assert again.validate().cycles == stack.cycles
+    assert again.slots == {"retire": 12, "exec": 8}
+
+
+def test_cpistack_of_extracts_and_tolerates_absence():
+    stack = make_stack()
+    result = SimResult(machine="single", config="small", workload="gcc",
+                       cycles=10, instructions=12,
+                       extra={"cpistack": stack.as_dict()})
+    assert cpistack_of(result).slots == {"retire": 12, "exec": 5,
+                                         "load_miss": 3}
+    legacy = SimResult(machine="single", config="small", workload="gcc",
+                       cycles=10, instructions=12)
+    assert cpistack_of(legacy) is None
+
+
+# -------------------------------------------------------------- debug flag
+
+def test_debug_flag_parsing(monkeypatch):
+    for value, expected in (("1", True), ("yes", True), ("", False),
+                            ("0", False), ("false", False), ("no", False)):
+        monkeypatch.setenv("REPRO_CPISTACK_CHECK", value)
+        assert debug_checks_enabled() is expected
+    monkeypatch.delenv("REPRO_CPISTACK_CHECK")
+    assert debug_checks_enabled() is False
+
+
+def test_maybe_validate_honours_flag(monkeypatch):
+    broken = make_stack(slots={"retire": 1})
+    monkeypatch.setenv("REPRO_CPISTACK_CHECK", "0")
+    assert maybe_validate(broken) is broken  # no check, passthrough
+    monkeypatch.setenv("REPRO_CPISTACK_CHECK", "1")
+    with pytest.raises(AttributionError):
+        maybe_validate(broken)

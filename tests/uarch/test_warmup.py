@@ -5,6 +5,7 @@ import pytest
 from repro.trace.record import validate_trace
 from repro.uarch.branch.btb import FrontEndPredictor
 from repro.uarch.cache.hierarchy import CacheHierarchy
+from repro.uarch.cache.prefetch import attach_prefetcher
 from repro.uarch.params import small_core_config
 from repro.uarch.warmup import reseq, split_warmup, warm_state
 from repro.workloads.generator import generate_trace
@@ -48,6 +49,47 @@ def test_warm_state_touches_caches():
     assert hierarchy.l1d.stats.accesses == 0
     resident = sum(
         1 for record in trace[-200:]
+        if record.is_memory and hierarchy.l1d.contains(record.mem_addr))
+    assert resident > 0
+
+
+def test_warm_state_resets_every_hierarchy_counter():
+    """Warm-up must zero MSHR and prefetcher counters, not just caches.
+
+    The old reset re-initialised the three CacheStats objects in place
+    and silently leaked MSHR stall cycles and prefetcher counts from
+    the warm-up window into measured results.
+    """
+    config = small_core_config()
+    hierarchy = CacheHierarchy(config)
+    prefetcher = attach_prefetcher(hierarchy)
+
+    # A line-strided stream inside one page trains and fires the
+    # prefetcher; a burst of far-apart same-cycle misses contends for
+    # the small MSHR file.
+    for i in range(16):
+        hierarchy.load(0x10000 + i * 64, now=0)
+    for i in range(4 * config.l1d.mshrs):
+        hierarchy.load(0x900000 + (i << 20), now=0)
+    assert hierarchy.d_mshrs.stall_cycles > 0
+    assert prefetcher.prefetches > 0
+    assert hierarchy.l1d.stats.accesses > 0
+
+    trace = generate_trace("gcc", 500)
+    warm_state(trace, hierarchy, None)
+
+    flat = hierarchy.stats()
+    for level in ("l1d", "l1i", "l2"):
+        for counter in ("accesses", "hits", "misses", "writebacks"):
+            assert flat[level][counter] == 0, (level, counter)
+    assert flat["d_mshr_stall_cycles"] == 0
+    assert flat["prefetcher"]["prefetches"] == 0
+    assert flat["prefetcher"]["useful_hint"] == 0
+    # State (as opposed to measurement) survives the reset: the stride
+    # table stays trained and warmed lines stay resident.
+    assert flat["prefetcher"]["tracked_pcs"] > 0
+    resident = sum(
+        1 for record in trace[-100:]
         if record.is_memory and hierarchy.l1d.contains(record.mem_addr))
     assert resident > 0
 

@@ -11,10 +11,15 @@ Commands:
   worker processes (disk-backed cache, retries, progress metrics).
 * ``report`` — emit the full markdown experiment report (stdout).
 * ``validate`` — run the cross-model invariant battery.
+* ``forensics`` — render a crash dump (latest by default).
+* ``minimize`` — ddmin-shrink a crash dump's failing trace to a small
+  regression fixture that still fails the same way.
 
 Exit codes are uniform across commands: 0 = success, 1 = an experiment
-or validation failed, 2 = usage error (unknown benchmark, experiment id
-or malformed arguments — argparse errors also exit 2).
+or validation failed (including a simulation that hung or overflowed —
+the failure leaves a crash dump and the exit line points at it), 2 =
+usage error (unknown benchmark, experiment id, missing crash dump or
+malformed arguments — argparse errors also exit 2).
 """
 
 from __future__ import annotations
@@ -22,20 +27,23 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
-from .corefusion.machine import simulate_core_fusion
-from .fgstp.orchestrator import simulate_fgstp
 from .harness.config import ExperimentConfig
 from .harness.experiments import REGISTRY, run_experiment
 from .harness.parallel import ExperimentEngine, matrix_jobs
 from .harness.report import (cpistack_comparison, cpistack_table,
                              run_and_render, sweep_to_text)
-from .harness.runners import MACHINES
+from .harness.runners import MACHINES, build_machine
+from .integrity.chaos import ENV_CHAOS
+from .integrity.errors import SimulationError
+from .integrity.forensics import (DEFAULT_CRASH_DIR, CrashDumpError,
+                                  latest_crash_dump, load_crash_dump,
+                                  render_crash_dump, write_crash_dump)
 from .stats.cpistack import AttributionError, cpistack_of
 from .stats.store import ResultStore
 from .stats.tables import render_table
 from .uarch.params import core_config
-from .uarch.pipeline.machine import simulate_single_core
 from .workloads.generator import generate_trace
 from .workloads.profiles import PROFILES
 from .workloads.suite import suite_names
@@ -87,6 +95,34 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _replay_context(machine_name: str, args) -> dict:
+    """The replay recipe attached to CLI crash dumps."""
+    context = {"machine": machine_name, "benchmark": args.benchmark,
+               "config": args.config, "length": args.length,
+               "warmup": args.warmup, "seed": args.seed}
+    chaos = os.environ.get(ENV_CHAOS)
+    if chaos:
+        context["chaos"] = chaos
+    return context
+
+
+def _run_or_dump(machine_name: str, trace, base, args):
+    """Run one machine; on a structured failure, write a crash dump and
+    print a one-line pointer (returns ``None``)."""
+    machine = build_machine(machine_name, base)
+    try:
+        return machine.run(trace, workload=args.benchmark,
+                           warmup=args.warmup)
+    except SimulationError as error:
+        dump = write_crash_dump(
+            error, context=_replay_context(machine_name, args),
+            workload=args.benchmark)
+        print(f"{machine_name}: {error.failure_class}: {error} "
+              f"[crash dump: {dump}; inspect with "
+              f"`python -m repro forensics`]", file=sys.stderr)
+        return None
+
+
 def cmd_simulate(args) -> int:
     if args.benchmark not in PROFILES:
         print(f"unknown benchmark {args.benchmark!r}; see `list`",
@@ -94,12 +130,14 @@ def cmd_simulate(args) -> int:
         return 2
     base = core_config(args.config)
     trace = generate_trace(args.benchmark, args.length, args.seed)
-    single = simulate_single_core(trace, base, workload=args.benchmark,
-                                  warmup=args.warmup)
-    fusion = simulate_core_fusion(trace, base, workload=args.benchmark,
-                                  warmup=args.warmup)
-    fgstp = simulate_fgstp(trace, base, workload=args.benchmark,
-                           warmup=args.warmup)
+    results = {}
+    for machine_name in ("single", "corefusion", "fgstp"):
+        result = _run_or_dump(machine_name, trace, base, args)
+        if result is None:
+            return 1
+        results[machine_name] = result
+    single, fusion, fgstp = (results["single"], results["corefusion"],
+                             results["fgstp"])
     rows = [
         ["single", single.cycles, single.ipc, 1.0],
         ["corefusion", fusion.cycles, fusion.ipc,
@@ -118,16 +156,12 @@ def cmd_profile(args) -> int:
         return 2
     base = core_config(args.config)
     trace = generate_trace(args.benchmark, args.length, args.seed)
-    results = {
-        "single": simulate_single_core(trace, base,
-                                       workload=args.benchmark,
-                                       warmup=args.warmup),
-        "corefusion": simulate_core_fusion(trace, base,
-                                           workload=args.benchmark,
-                                           warmup=args.warmup),
-        "fgstp": simulate_fgstp(trace, base, workload=args.benchmark,
-                                warmup=args.warmup),
-    }
+    results = {}
+    for machine_name in ("single", "corefusion", "fgstp"):
+        result = _run_or_dump(machine_name, trace, base, args)
+        if result is None:
+            return 1
+        results[machine_name] = result
     stacks = {}
     failed = False
     for machine, result in results.items():
@@ -201,11 +235,87 @@ def cmd_validate(args) -> int:
         print(f"validating on {benchmark} "
               f"({args.length} instructions)...")
         results = validate_all(benchmark, length=args.length,
-                               seed=args.seed)
+                               seed=args.seed,
+                               crash_dir=DEFAULT_CRASH_DIR)
         for result in results.values():
             print(f"  {result}")
             any_failed = any_failed or not result.passed
     return 1 if any_failed else 0
+
+
+def _resolve_dump(args):
+    """The dump path named by the CLI (or the latest), or ``None``."""
+    if args.dump:
+        return Path(args.dump)
+    latest = latest_crash_dump(args.crash_dir)
+    if latest is None:
+        print(f"no crash dumps under {args.crash_dir}", file=sys.stderr)
+    return latest
+
+
+def cmd_forensics(args) -> int:
+    path = _resolve_dump(args)
+    if path is None:
+        return 2
+    try:
+        dump = load_crash_dump(path)
+    except CrashDumpError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"dump: {path}")
+    print(render_crash_dump(dump))
+    return 0
+
+
+def cmd_minimize(args) -> int:
+    from .integrity.minimize import (minimize_failure, replay_run_fn,
+                                     trace_from_context)
+    from .trace.io import write_trace
+
+    path = _resolve_dump(args)
+    if path is None:
+        return 2
+    try:
+        dump = load_crash_dump(path)
+    except CrashDumpError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    context = dump.get("context") or {}
+    try:
+        trace = trace_from_context(context)
+    except KeyError as error:
+        print(f"{path}: replay recipe is incomplete ({error})",
+              file=sys.stderr)
+        return 2
+    failure_class = dump.get("failure_class") or None
+    print(f"minimizing {len(trace)}-record trace preserving "
+          f"{failure_class or 'any failure class'}...")
+    result = minimize_failure(trace, replay_run_fn(context),
+                              failure_class=failure_class,
+                              max_tests=args.max_tests)
+    if not result.reproduced:
+        print("the failure did not reproduce from the dump's recipe",
+              file=sys.stderr)
+        return 1
+    output = (Path(args.output) if args.output
+              else path.with_suffix("").with_suffix(".min.trace"))
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with output.open("wb") as stream:
+        write_trace(result.records, stream)
+    sidecar = output.with_suffix(".json")
+    import json
+    with sidecar.open("w") as stream:
+        json.dump({"failure_class": result.failure_class,
+                   "original_length": result.original_length,
+                   "minimized_length": result.minimized_length,
+                   "tests_run": result.tests_run,
+                   "context": context,
+                   "source_dump": str(path)}, stream, indent=1,
+                  sort_keys=True)
+    print(f"minimized {result.original_length} -> "
+          f"{result.minimized_length} records in {result.tests_run} "
+          f"probe run(s); fixture: {output}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -274,11 +384,35 @@ def main(argv=None) -> int:
         "validate", help="run the cross-model invariant battery")
     _add_sizing(validate_parser)
 
+    forensics_parser = sub.add_parser(
+        "forensics", help="render a crash dump (latest by default)")
+    forensics_parser.add_argument("dump", nargs="?", default=None,
+                                  help="dump file (default: most recent)")
+    forensics_parser.add_argument("--crash-dir",
+                                  default=str(DEFAULT_CRASH_DIR),
+                                  help="where dumps live (default "
+                                       ".repro_cache/crashes)")
+
+    minimize_parser = sub.add_parser(
+        "minimize", help="shrink a crash dump's failing trace (ddmin)")
+    minimize_parser.add_argument("dump", nargs="?", default=None,
+                                 help="dump file (default: most recent)")
+    minimize_parser.add_argument("--crash-dir",
+                                 default=str(DEFAULT_CRASH_DIR),
+                                 help="where dumps live (default "
+                                      ".repro_cache/crashes)")
+    minimize_parser.add_argument("--output", default=None,
+                                 help="minimized trace path (default: "
+                                      "next to the dump, .min.trace)")
+    minimize_parser.add_argument("--max-tests", type=int, default=512,
+                                 help="probe-run budget (default 512)")
+
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run,
                 "simulate": cmd_simulate, "profile": cmd_profile,
                 "sweep": cmd_sweep, "report": cmd_report,
-                "validate": cmd_validate}
+                "validate": cmd_validate, "forensics": cmd_forensics,
+                "minimize": cmd_minimize}
     return handlers[args.command](args)
 
 

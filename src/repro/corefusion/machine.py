@@ -119,7 +119,8 @@ class CoreFusionMachine:
                  frontend_overhead: Optional[int] = None,
                  operand_crossbar_latency: Optional[int] = None,
                  lsq_crossing_penalty: Optional[int] = None,
-                 max_cycles: int = 200_000_000):
+                 max_cycles: int = 200_000_000,
+                 watchdog_window: Optional[int] = None):
         self.base = base
         self.frontend_overhead = (
             default_frontend_overhead(base) if frontend_overhead is None
@@ -138,7 +139,8 @@ class CoreFusionMachine:
             cross_cluster_latency=self.operand_crossbar_latency,
             cluster_issue_width=base.issue_width,
             machine_label="corefusion",
-            max_cycles=max_cycles)
+            max_cycles=max_cycles,
+            watchdog_window=watchdog_window)
 
     @property
     def hierarchy(self):

@@ -38,13 +38,16 @@ class AdaptiveFgStpMachine:
             holds for one region).
         reconfigure_penalty: Cycles charged at every mode switch (cache
             quiescing, fetch redirect to the partition unit).
+        watchdog_window: Forward-progress hang window forwarded to every
+            region machine (``None`` = environment default).
     """
 
     def __init__(self, base: CoreParams,
                  fgstp: Optional[FgStpParams] = None,
                  sample_instructions: int = 4000,
                  region_instructions: int = 20000,
-                 reconfigure_penalty: int = 200):
+                 reconfigure_penalty: int = 200,
+                 watchdog_window: Optional[int] = None):
         if sample_instructions <= 0:
             raise ValueError("sample_instructions must be positive")
         if region_instructions < sample_instructions:
@@ -55,6 +58,7 @@ class AdaptiveFgStpMachine:
         self.sample_instructions = sample_instructions
         self.region_instructions = region_instructions
         self.reconfigure_penalty = reconfigure_penalty
+        self.watchdog_window = watchdog_window
 
     def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
             warmup: int = 0) -> SimResult:
@@ -137,20 +141,25 @@ class AdaptiveFgStpMachine:
         return regions
 
     def _run_region(self, region_trace, region_warmup, workload):
+        window = self.watchdog_window
         sample_end = min(len(region_trace),
                          region_warmup + self.sample_instructions)
         sample = reseq(region_trace[:sample_end])
-        single_sample = SingleCoreMachine(self.base).run(
+        single_sample = SingleCoreMachine(
+            self.base, watchdog_window=window).run(
             sample, workload=workload, warmup=region_warmup)
-        fgstp_sample = FgStpMachine(self.base, self.fgstp).run(
+        fgstp_sample = FgStpMachine(
+            self.base, self.fgstp, watchdog_window=window).run(
             sample, workload=workload, warmup=region_warmup)
         if fgstp_sample.cycles <= single_sample.cycles:
             mode = "fgstp"
-            result = FgStpMachine(self.base, self.fgstp).run(
+            result = FgStpMachine(
+                self.base, self.fgstp, watchdog_window=window).run(
                 region_trace, workload=workload, warmup=region_warmup)
         else:
             mode = "single"
-            result = SingleCoreMachine(self.base).run(
+            result = SingleCoreMachine(
+                self.base, watchdog_window=window).run(
                 region_trace, workload=workload, warmup=region_warmup)
         return mode, result
 

@@ -92,6 +92,23 @@ class InterCoreQueue:
     def pending(self) -> int:
         return len(self._fifo)
 
+    def snapshot(self, limit: int = 8) -> dict:
+        """JSON-able forensic snapshot: stats plus the queue head."""
+        head = [
+            {"eligible": eligible, "tag": tag.label,
+             "satisfied": tag.ready_cycle is not None,
+             "consumers": len(tag.consumers)}
+            for eligible, tag in list(self._fifo)[:limit]
+        ]
+        return {
+            "name": self.name,
+            "latency": self.latency,
+            "bandwidth": self.bandwidth,
+            "pending": len(self._fifo),
+            "head": head,
+            **self.stats(),
+        }
+
     def stats(self) -> dict:
         return {
             "sends": self.sends,

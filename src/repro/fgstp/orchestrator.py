@@ -36,8 +36,12 @@ paper-family methodology):
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..integrity.errors import (SimulationError, SimulationHang,
+                                SimulationLimit)
+from ..integrity.forensics import uop_brief
+from ..integrity.watchdog import Watchdog
 from ..isa.program import INSTRUCTION_BYTES
 from ..stats.cpistack import CPIStack, maybe_validate
 from ..stats.result import SimResult
@@ -46,6 +50,7 @@ from ..uarch.branch.btb import FrontEndPredictor
 from ..uarch.cache.hierarchy import CacheHierarchy, make_shared_l2
 from ..uarch.params import CoreParams
 from ..uarch.pipeline.core import CycleCore
+from ..uarch.pipeline.machine import RECENT_COMMITS
 from ..uarch.pipeline.uop import (
     COMMITTED,
     COMPLETED,
@@ -71,16 +76,22 @@ class FgStpMachine:
             single-core baseline and to each half of Core Fusion).
         fgstp: Mechanism parameters (window, queues, speculation, ...).
         max_cycles: Safety valve against model deadlocks.
+        watchdog_window: Forward-progress hang window in cycles
+            (``None`` = environment default, ``0`` = disabled; see
+            :mod:`repro.integrity.watchdog`).
     """
 
     def __init__(self, base: CoreParams,
                  fgstp: Optional[FgStpParams] = None,
                  max_cycles: int = 200_000_000,
-                 policy: Optional[str] = None):
+                 policy: Optional[str] = None,
+                 watchdog_window: Optional[int] = None):
         self.base = base
         self.fgstp = fgstp or FgStpParams()
         self.max_cycles = max_cycles
         self.policy_name = policy or "chain"
+        self.watchdog = Watchdog(watchdog_window)
+        self._recent_commits: Deque[Uop] = deque(maxlen=RECENT_COMMITS)
 
         shared_l2 = make_shared_l2(base)
         self.hierarchies = (CacheHierarchy(base, shared_l2),
@@ -148,7 +159,12 @@ class FgStpMachine:
                 and the branch predictor (untimed).
 
         Raises:
-            RuntimeError: on exceeding ``max_cycles`` (model bug guard).
+            SimulationLimit: if the run exceeds ``max_cycles``.
+            SimulationHang: if the watchdog sees no commit for a whole
+                window while the run is incomplete.
+            PipelineDrainError: if the run ends with uops in flight.
+            (All are ``SimulationError``/``RuntimeError`` subclasses and
+            carry partial statistics plus a pipeline snapshot.)
         """
         if not trace:
             return SimResult("fgstp", self.base.name, workload, 0, 0)
@@ -161,17 +177,42 @@ class FgStpMachine:
         self._trace = trace
         total = len(trace)
         cycle = 0
+        watchdog = self.watchdog
+        watchdog.reset()
+        self._recent_commits.clear()
         while self._global_next < total:
             if cycle > self.max_cycles:
-                raise RuntimeError(
+                raise SimulationLimit(
                     f"fgstp: exceeded {self.max_cycles} cycles with "
                     f"{self._global_next}/{total} committed "
                     f"(heads: {self.cores[0].rob_head!r}, "
-                    f"{self.cores[1].rob_head!r})")
+                    f"{self.cores[1].rob_head!r})",
+                    machine="fgstp", cycles=cycle,
+                    instructions=self._global_next, total=total,
+                    partial=self._partial_stats(cycle),
+                    snapshot=self.failure_snapshot(cycle))
+            if watchdog.expired(cycle, self._global_next):
+                busy = any(core.busy() for core in self.cores)
+                raise SimulationHang(
+                    f"fgstp: no commit for {watchdog.stalled_for(cycle)} "
+                    f"cycles at cycle {cycle} with "
+                    f"{self._global_next}/{total} committed "
+                    f"({'work in flight' if busy else 'frontend'})",
+                    machine="fgstp", cycles=cycle,
+                    instructions=self._global_next, total=total,
+                    detail="intercore" if busy else "frontend",
+                    partial=self._partial_stats(cycle),
+                    snapshot=self.failure_snapshot(cycle))
             self._cycle(cycle)
             cycle += 1
-        for core in self.cores:
-            core.drain_check()
+        try:
+            for core in self.cores:
+                core.drain_check()
+        except SimulationError as error:
+            error.attach(machine="fgstp", cycles=cycle, total=total,
+                         partial=self._partial_stats(cycle),
+                         snapshot=self.failure_snapshot(cycle))
+            raise
         return self._result(workload, cycle, total)
 
     def _cycle(self, now: int) -> None:
@@ -246,6 +287,7 @@ class FgStpMachine:
         return uop.seq == self._global_next
 
     def _on_commit(self, uop: Uop, cycle: int) -> None:
+        self._recent_commits.append(uop)
         seq = uop.seq
         count = self._copies.get(seq, 1) - 1
         if count <= 0:
@@ -545,6 +587,51 @@ class FgStpMachine:
         if self._global_next - self._last_retire_prune >= 1024:
             self.partitioner.retire(self._global_next)
             self._last_retire_prune = self._global_next
+
+    def _partial_stats(self, cycles: int) -> dict:
+        """Statistics accumulated up to a failure point (not validated —
+        the ledger is only complete for fully attributed cycles)."""
+        stack = CPIStack.merge_cores(
+            (CPIStack(machine=core.name, cycles=cycles,
+                      instructions=core.stats.committed,
+                      width=self.base.commit_width,
+                      slots=dict(core.stats.commit_slots))
+             for core in self.cores),
+            machine="fgstp", instructions=self._global_next)
+        return {
+            "cycles": cycles,
+            "instructions": self._global_next,
+            "cpistack": stack.as_dict(),
+            "cores": [core.stats.as_dict() for core in self.cores],
+            "squashes": self.squashes,
+        }
+
+    def failure_snapshot(self, cycle: int) -> dict:
+        """JSON-able pipeline snapshot for crash forensics: both cores,
+        both value queues, partitioner/front-end state, and the last
+        committed instructions."""
+        return {
+            "machine": "fgstp",
+            "cycle": cycle,
+            "cores": [core.snapshot() for core in self.cores],
+            "queues": [queue.snapshot() for queue in self.queues],
+            "frontend": {
+                "fetch_cursor": self._fetch_cursor,
+                "global_next": self._global_next,
+                "trace_length": len(self._trace),
+                "window_size": self.fgstp.window_size,
+                "batch_pending": len(self._batch),
+                "feed_pending": [len(feed) for feed in self._feed],
+                "stall_seq": self._stall_seq,
+                "fetch_resume_at": self._fetch_resume_at,
+                "icache_ready": self._icache_ready,
+            },
+            "partitioner": self.partitioner.stats.as_dict(),
+            "dep_predictor": self.dep_predictor.stats(),
+            "live_seqs": len(self._live),
+            "pending_sends": len(self._send_map),
+            "last_committed": [uop_brief(u) for u in self._recent_commits],
+        }
 
     def _result(self, workload: str, cycles: int, total: int) -> SimResult:
         caches = {

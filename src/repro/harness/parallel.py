@@ -45,6 +45,9 @@ from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple, Union)
 
 from ..fgstp.params import FgStpParams
+from ..integrity.chaos import ENV_CHAOS
+from ..integrity.errors import SimulationError
+from ..integrity.forensics import write_crash_dump
 from ..stats.result import SimResult
 from ..uarch.params import CoreParams, core_config
 from ..workloads.suite import DiskTraceCache, TraceCache, trace_key
@@ -194,8 +197,10 @@ def _call_with_timeout(function: Callable[[SweepJob], SimResult],
 #: job's cache key, so bumping it orphans (rather than serves) entries
 #: produced by older code.  v2: results carry ``extra["cpistack"]``
 #: (cycle-accounting CPI stacks) and queue stats gained
-#: ``mouth_blocked_cycles``.
-_RESULT_CACHE_VERSION = 2
+#: ``mouth_blocked_cycles``.  v3: entries are checksummed wrappers
+#: (``{"sha256": ..., "result": ...}``) so silent on-disk corruption is
+#: detected and quarantined instead of served.
+_RESULT_CACHE_VERSION = 3
 
 
 @dataclass
@@ -207,16 +212,28 @@ class JobFailure:
         kind: ``"timeout"`` or ``"error"``.
         attempts: Total attempts made (1 + retries).
         error: Stringified final exception.
+        failure_class: :attr:`SimulationError.failure_class` when the
+            final exception was structured (``""`` otherwise).
+        partial: Partial statistics carried by a structured failure —
+            where the dead run's cycles went.
+        dump_path: Crash dump written for this failure (``""`` when
+            dumps are disabled or the failure carried no state).
     """
 
     job: SweepJob
     kind: str
     attempts: int
     error: str
+    failure_class: str = ""
+    partial: Optional[Dict[str, Any]] = None
+    dump_path: str = ""
 
     def __str__(self) -> str:
-        return (f"{self.job.name}: {self.kind} after "
+        text = (f"{self.job.name}: {self.kind} after "
                 f"{self.attempts} attempt(s): {self.error}")
+        if self.dump_path:
+            text += f" [crash dump: {self.dump_path}]"
+        return text
 
 
 @dataclass
@@ -232,6 +249,8 @@ class SweepMetrics:
             result_cache_hits == total on return.
         retries: Extra attempts beyond each job's first.
         result_cache_hits: Jobs satisfied from the on-disk result cache.
+        quarantined: Corrupt result-cache entries moved aside (to
+            ``<cache_dir>/quarantine/``) and recomputed.
         traces_reused / traces_generated: Distinct traces the sweep
             needed that were already on disk vs. freshly generated
             (disk cache only).
@@ -247,6 +266,7 @@ class SweepMetrics:
     jobs_failed: int = 0
     retries: int = 0
     result_cache_hits: int = 0
+    quarantined: int = 0
     traces_reused: int = 0
     traces_generated: int = 0
     wall_seconds: float = 0.0
@@ -268,6 +288,7 @@ class SweepMetrics:
             "jobs_failed": self.jobs_failed,
             "retries": self.retries,
             "result_cache_hits": self.result_cache_hits,
+            "quarantined": self.quarantined,
             "cache_hit_rate": self.cache_hit_rate,
             "traces_reused": self.traces_reused,
             "traces_generated": self.traces_generated,
@@ -320,6 +341,12 @@ class SweepOutcome:
             nested.setdefault(job.machine, {}) \
                 .setdefault(job.benchmark, {})[job.config.seed] = result
         return nested
+
+
+def _result_digest(payload: Mapping[str, Any]) -> str:
+    """Content checksum of a cached result's canonical JSON form."""
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class SweepError(RuntimeError):
@@ -399,7 +426,7 @@ class ExperimentEngine:
         preexisting = self._existing_trace_keys(trace_keys)
         pending: List[int] = []
         for index, job in enumerate(jobs):
-            cached = self._load_cached_result(job)
+            cached = self._load_cached_result(job, metrics)
             if cached is not None:
                 outcome.results[index] = cached
                 metrics.result_cache_hits += 1
@@ -583,31 +610,65 @@ class ExperimentEngine:
             return None
         return self.cache_dir / "results" / f"{job.key()}.json"
 
-    def _load_cached_result(self, job: SweepJob) -> Optional[SimResult]:
+    def _load_cached_result(self, job: SweepJob,
+                            metrics: Optional[SweepMetrics] = None
+                            ) -> Optional[SimResult]:
         path = self._result_path(job)
         if path is None or not path.exists():
             return None
         try:
             with path.open() as stream:
-                return SimResult.from_dict(json.load(stream))
-        except (json.JSONDecodeError, KeyError, OSError):
-            return None  # corrupt entry: recompute and overwrite
+                wrapper = json.load(stream)
+            payload = wrapper["result"]
+            digest = _result_digest(payload)
+            if wrapper.get("sha256") != digest:
+                raise ValueError(f"checksum mismatch in {path.name}")
+            return SimResult.from_dict(payload)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                OSError) as exc:
+            # Corrupt entry (truncated write, bit rot, foreign schema):
+            # move it aside for inspection and recompute.
+            self._quarantine(path, exc)
+            if metrics is not None:
+                metrics.quarantined += 1
+            return None
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        if self.cache_dir is None:
+            return
+        quarantine_dir = self.cache_dir / "quarantine"
+        try:
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine_dir / path.name)
+            self._emit("stage",
+                       f"quarantined corrupt cache entry {path.name} "
+                       f"({reason}); recomputing")
+        except OSError:
+            try:
+                path.unlink()  # fallback: drop it so it is not re-served
+            except OSError:
+                pass
 
     def _store_cached_result(self, job: SweepJob, result: SimResult) -> None:
         path = self._result_path(job)
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = result.as_dict()
+        wrapper = {"sha256": _result_digest(payload), "result": payload}
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         try:
             with tmp.open("w") as stream:
-                json.dump(result.as_dict(), stream, sort_keys=True)
+                json.dump(wrapper, stream, sort_keys=True)
             os.replace(tmp, path)
         except OSError:
             try:
                 tmp.unlink()
             except OSError:
                 pass
+
+    def _crash_dir(self) -> Optional[Path]:
+        return self.cache_dir / "crashes" if self.cache_dir else None
 
     def _existing_trace_keys(self, keys: Iterable[str]) -> set:
         if self.cache_dir is None:
@@ -618,11 +679,43 @@ class ExperimentEngine:
 
     def _fail(self, outcome: SweepOutcome, index: int, kind: str,
               attempts: int, exc: Exception) -> None:
-        failure = JobFailure(job=outcome.jobs[index], kind=kind,
-                             attempts=attempts, error=str(exc))
+        job = outcome.jobs[index]
+        failure = JobFailure(job=job, kind=kind, attempts=attempts,
+                             error=str(exc))
+        if isinstance(exc, SimulationError):
+            # Structured failure: keep the partial statistics on the
+            # record and persist a replayable crash dump next to the
+            # cache, so the sweep continues but nothing is lost.
+            failure.failure_class = exc.failure_class
+            failure.partial = exc.partial or None
+            crash_dir = self._crash_dir()
+            if crash_dir is not None:
+                try:
+                    failure.dump_path = str(write_crash_dump(
+                        exc, directory=crash_dir,
+                        context=self._replay_context(job),
+                        workload=job.benchmark))
+                except OSError:
+                    pass
         outcome.failures.append(failure)
         outcome.metrics.jobs_failed += 1
         self._emit("job-failed", str(failure))
+
+    @staticmethod
+    def _replay_context(job: SweepJob) -> Dict[str, Any]:
+        """The replay recipe ``repro minimize`` reconstructs a run from."""
+        context: Dict[str, Any] = {
+            "machine": job.machine,
+            "benchmark": job.benchmark,
+            "config": job.base.name,
+            "length": job.config.trace_length,
+            "warmup": job.config.warmup,
+            "seed": job.config.seed,
+        }
+        chaos = os.environ.get(ENV_CHAOS)
+        if chaos:
+            context["chaos"] = chaos
+        return context
 
     def _emit(self, event: str, message: str) -> None:
         if self.progress is not None:

@@ -76,7 +76,9 @@ def sweep_to_text(outcome: SweepOutcome, precision: int = 3) -> str:
     lines.append(f"cache: result_hits={metrics.result_cache_hits} "
                  f"(hit_rate={metrics.cache_hit_rate:.1%}) "
                  f"traces_reused={metrics.traces_reused} "
-                 f"traces_generated={metrics.traces_generated}")
+                 f"traces_generated={metrics.traces_generated}"
+                 + (f" quarantined={metrics.quarantined}"
+                    if metrics.quarantined else ""))
     for stage, seconds in sorted(metrics.stage_seconds.items()):
         lines.append(f"stage {stage}: {seconds:.2f}s")
     if outcome.failures:

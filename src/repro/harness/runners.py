@@ -13,6 +13,7 @@ from ..corefusion.machine import CoreFusionMachine
 from ..fgstp.adaptive import AdaptiveFgStpMachine
 from ..fgstp.orchestrator import FgStpMachine
 from ..fgstp.params import FgStpParams
+from ..integrity.chaos import maybe_apply_env_chaos
 from ..stats.result import SimResult
 from ..uarch.params import CoreParams, core_config
 from ..uarch.pipeline.machine import SingleCoreMachine
@@ -35,18 +36,25 @@ def build_machine(machine: str, base: CoreParams,
         **overrides: Machine-specific constructor arguments (e.g. Core
             Fusion overhead knobs).
 
+    The ``REPRO_CHAOS`` fault-injection spec, when set, is applied to
+    the freshly built machine (kinds inapplicable to it are skipped),
+    so every harness path — ``repro simulate``, sweeps, validation —
+    can be chaos-tested without code changes.
+
     Raises:
         ValueError: on an unknown machine name.
     """
     if machine == "single":
-        return SingleCoreMachine(base, **overrides)
-    if machine == "corefusion":
-        return CoreFusionMachine(base, **overrides)
-    if machine == "fgstp":
-        return FgStpMachine(base, fgstp, **overrides)
-    if machine == "fgstp-adaptive":
-        return AdaptiveFgStpMachine(base, fgstp, **overrides)
-    raise ValueError(f"unknown machine {machine!r}; known: {MACHINES}")
+        model = SingleCoreMachine(base, **overrides)
+    elif machine == "corefusion":
+        model = CoreFusionMachine(base, **overrides)
+    elif machine == "fgstp":
+        model = FgStpMachine(base, fgstp, **overrides)
+    elif machine == "fgstp-adaptive":
+        model = AdaptiveFgStpMachine(base, fgstp, **overrides)
+    else:
+        raise ValueError(f"unknown machine {machine!r}; known: {MACHINES}")
+    return maybe_apply_env_chaos(model)
 
 
 def run_machine(machine: str, benchmark: str, base: CoreParams,

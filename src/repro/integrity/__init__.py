@@ -1,0 +1,42 @@
+"""Simulation-integrity layer: structured failures, watchdog, forensics.
+
+Long cycle-level runs used to have exactly one failure mode: a bare
+``RuntimeError`` after burning up to 200M cycles against ``max_cycles``,
+with no partial statistics and no way to reproduce the failure cheaply.
+This package gives every machine the property that matters at sweep
+scale — when something livelocks, the system detects it in thousands of
+cycles, explains it, and shrinks it:
+
+* :mod:`.errors` — the :class:`SimulationError` hierarchy every machine
+  raises instead of bare ``RuntimeError``; each error carries partial
+  statistics (cycles, instructions, CPI-stack ledger so far) and a
+  pipeline snapshot.
+* :mod:`.watchdog` — the forward-progress watchdog wired into all four
+  machines: no commit for a configurable window while work is in flight
+  raises :class:`~repro.integrity.errors.SimulationHang` within
+  thousands of cycles instead of the 200M-cycle ceiling.
+* :mod:`.forensics` — replayable crash-dump artifacts under
+  ``.repro_cache/crashes/`` and the renderer behind ``repro forensics``.
+* :mod:`.minimize` — the ddmin delta-debugging trace minimizer behind
+  ``repro minimize``.
+* :mod:`.chaos` — the fault-injection harness that deliberately breaks
+  the model (dropped/duplicated queue messages, stuck queues, corrupted
+  speculation verdicts, commit-gate stalls) to prove end to end that
+  the watchdog fires, the dump is complete and the minimizer converges.
+
+Import discipline: this package must stay importable from the pipeline
+modules (:mod:`repro.uarch.pipeline.core` raises its errors), so nothing
+here imports machines or the harness at module level.
+"""
+
+from .errors import (PipelineDrainError, SimulationError, SimulationHang,
+                     SimulationLimit)
+from .watchdog import Watchdog
+
+__all__ = [
+    "PipelineDrainError",
+    "SimulationError",
+    "SimulationHang",
+    "SimulationLimit",
+    "Watchdog",
+]

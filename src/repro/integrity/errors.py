@@ -1,0 +1,154 @@
+"""Structured simulation failures carrying partial state.
+
+Every abnormal end of a timing-model run raises a
+:class:`SimulationError` subclass instead of a bare ``RuntimeError``.
+The subclass encodes the *failure class* (hang / cycle-limit / drain)
+and the instance carries everything a post-mortem needs:
+
+* ``partial`` — statistics accumulated up to the failure point (cycles,
+  instructions committed, the CPI-stack ledger so far, model counters),
+  so a 3-hour run that dies still reports where its cycles went;
+* ``snapshot`` — a JSON-able pipeline snapshot (ROB/IQ/LSQ heads and
+  occupancies, inter-core queue contents, partitioner state, recently
+  committed instructions) taken at the moment of failure;
+* ``context`` — the replay recipe (benchmark / length / seed / machine
+  / chaos spec) when the failure surfaced through the harness or CLI.
+
+:class:`SimulationError` deliberately subclasses ``RuntimeError`` so
+pre-existing callers (and tests) that catch ``RuntimeError`` keep
+working.  Instances pickle faithfully — they must cross the process
+boundary of :mod:`repro.harness.parallel` worker pools intact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class SimulationError(RuntimeError):
+    """A timing-model run ended abnormally.
+
+    Args:
+        message: Human-readable description.
+        machine: Label of the machine that failed.
+        cycles: Cycles simulated before the failure.
+        instructions: Architectural instructions committed so far.
+        total: Instructions the run was asked to commit (``None`` when
+            unknown, e.g. a core-level failure).
+        partial: JSON-able partial statistics (see module docstring).
+        snapshot: JSON-able pipeline snapshot at the failure point.
+        detail: Optional sub-classification refining
+            :attr:`failure_class` (e.g. ``"intercore"``).
+        context: Replay recipe attached by the harness/CLI.
+    """
+
+    #: Coarse failure kind; subclasses override.
+    kind = "error"
+
+    def __init__(self, message: str, machine: str = "",
+                 cycles: int = 0, instructions: int = 0,
+                 total: Optional[int] = None,
+                 partial: Optional[Dict[str, Any]] = None,
+                 snapshot: Optional[Dict[str, Any]] = None,
+                 detail: str = "",
+                 context: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.machine = machine
+        self.cycles = cycles
+        self.instructions = instructions
+        self.total = total
+        self.partial = partial if partial is not None else {}
+        self.snapshot = snapshot if snapshot is not None else {}
+        self.detail = detail
+        self.context = context if context is not None else {}
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def failure_class(self) -> str:
+        """Stable string identifying the failure *class*.
+
+        Two failures share a class when they have the same kind and
+        detail — the equivalence the trace minimizer preserves while
+        shrinking (``"hang:intercore"`` stays ``"hang:intercore"``).
+        """
+        return f"{self.kind}:{self.detail}" if self.detail else self.kind
+
+    # -- enrichment ----------------------------------------------------
+
+    def attach(self, **fields: Any) -> "SimulationError":
+        """Fill in still-empty payload fields; returns ``self``.
+
+        Lets an outer layer (a machine wrapping a core-level error, the
+        harness wrapping a machine-level one) add what it knows without
+        clobbering anything the raiser already recorded.  Dict payloads
+        (``partial`` / ``snapshot`` / ``context``) merge, with the
+        raiser's entries winning on key collisions.
+        """
+        for name, value in fields.items():
+            if name not in ("machine", "cycles", "instructions", "total",
+                            "partial", "snapshot", "detail", "context"):
+                raise TypeError(f"unknown SimulationError field {name!r}")
+            current = getattr(self, name)
+            if isinstance(current, dict) and isinstance(value, dict):
+                merged = dict(value)
+                merged.update(current)
+                setattr(self, name, merged)
+            elif current in ("", 0, None):
+                setattr(self, name, value)
+        return self
+
+    # -- (de)serialisation ---------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able payload (the heart of a crash dump)."""
+        return {
+            "failure_class": self.failure_class,
+            "kind": self.kind,
+            "detail": self.detail,
+            "message": str(self),
+            "machine": self.machine,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "total": self.total,
+            "partial": self.partial,
+            "snapshot": self.snapshot,
+            "context": self.context,
+        }
+
+    def __reduce__(self):
+        # Exceptions with keyword payloads do not survive the default
+        # pickle path; the worker-pool engine ships these across
+        # processes, so preserve every field explicitly.
+        return (_rebuild, (self.__class__, str(self), self.machine,
+                           self.cycles, self.instructions, self.total,
+                           self.partial, self.snapshot, self.detail,
+                           self.context))
+
+
+def _rebuild(cls, message, machine, cycles, instructions, total,
+             partial, snapshot, detail, context) -> SimulationError:
+    return cls(message, machine=machine, cycles=cycles,
+               instructions=instructions, total=total, partial=partial,
+               snapshot=snapshot, detail=detail, context=context)
+
+
+class SimulationHang(SimulationError):
+    """The forward-progress watchdog fired: work in flight, no commits
+    for a whole watchdog window (livelock / lost wake-up / stuck
+    queue)."""
+
+    kind = "hang"
+
+
+class SimulationLimit(SimulationError):
+    """The run exceeded its ``max_cycles`` safety ceiling."""
+
+    kind = "limit"
+
+
+class PipelineDrainError(SimulationError):
+    """A run ended with uops still in flight (commit-gate bug or a
+    deadlock the loop condition masked)."""
+
+    kind = "drain"

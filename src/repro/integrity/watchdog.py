@@ -1,0 +1,87 @@
+"""Forward-progress watchdog.
+
+A cycle-level machine that stops committing while work is in flight is
+broken *now* — waiting 200M cycles for the ``max_cycles`` ceiling just
+burns a worker slot for hours before saying so.  The watchdog tracks a
+per-run progress marker (the machine's committed-instruction count) and
+declares a hang once the marker has not advanced for a whole window of
+cycles.
+
+The window defaults to :data:`DEFAULT_WINDOW` cycles, far above any
+legitimate commit-to-commit gap (the worst in the reference
+configurations is one DRAM access plus queue/redirect penalties — a few
+hundred cycles) but thousands of times below the ceiling.  It is
+configurable per machine (``watchdog_window=``) and fleet-wide via the
+``REPRO_WATCHDOG_WINDOW`` environment variable; ``0`` disables the
+watchdog entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+#: Default hang-detection window in cycles.  Chosen so an injected
+#: livelock is detected well inside 10k cycles while the largest
+#: legitimate no-commit gap (a DRAM miss chain, ~hundreds of cycles)
+#: keeps an order-of-magnitude safety margin.
+DEFAULT_WINDOW = 5_000
+
+#: Environment override for the default window (0 disables).
+ENV_WINDOW = "REPRO_WATCHDOG_WINDOW"
+
+
+def window_from_env(default: int = DEFAULT_WINDOW) -> int:
+    """The fleet-wide watchdog window: env override or *default*."""
+    raw = os.environ.get(ENV_WINDOW)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
+class Watchdog:
+    """Tracks one run's forward progress (see module docstring).
+
+    Args:
+        window: Hang window in cycles; ``None`` reads the environment
+            default, ``0`` disables the watchdog.
+    """
+
+    __slots__ = ("window", "_marker", "_progress_cycle")
+
+    def __init__(self, window: Optional[int] = None):
+        self.window = window_from_env() if window is None \
+            else max(0, int(window))
+        self._marker: Any = None
+        self._progress_cycle = 0
+
+    def reset(self) -> None:
+        """Forget all progress state (call at the start of a run)."""
+        self._marker = None
+        self._progress_cycle = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.window > 0
+
+    def stalled_for(self, cycle: int) -> int:
+        """Cycles since the marker last advanced."""
+        return cycle - self._progress_cycle
+
+    def expired(self, cycle: int, marker: Any) -> bool:
+        """Record *marker* at *cycle*; True once a hang window elapsed.
+
+        Any change of *marker* counts as progress.  The very first
+        observation initialises the baseline, so a run that commits
+        nothing at all still gets a full window from cycle 0.
+        """
+        if marker != self._marker:
+            self._marker = marker
+            self._progress_cycle = cycle
+            return False
+        if not self.window:
+            return False
+        return cycle - self._progress_cycle > self.window

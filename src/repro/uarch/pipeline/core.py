@@ -32,6 +32,8 @@ import heapq
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
+from ...integrity.errors import PipelineDrainError
+from ...integrity.forensics import uop_brief
 from ...isa.opcodes import OpClass
 from ..cache.hierarchy import CacheHierarchy
 from ..params import FU_POOL_OF_CLASS, CoreParams
@@ -172,6 +174,28 @@ class CycleCore:
 
     def rob_occupancy(self) -> int:
         return len(self._rob)
+
+    def snapshot(self, limit: int = 8) -> Dict:
+        """JSON-able forensic snapshot of the core's in-flight state.
+
+        Captures the window heads and occupancies the post-mortem needs
+        to explain a stall: the ROB head (the instruction everything
+        waits behind), the oldest *limit* ROB entries, and structure
+        occupancies.  Cheap enough to call only at failure time.
+        """
+        head = self.rob_head
+        return {
+            "name": self.name,
+            "rob_occupancy": len(self._rob),
+            "iq_occupancy": self._iq_count,
+            "lsq_occupancy": self._lsq_count,
+            "fetch_buffer": len(self._fetch_buffer),
+            "dispatch_blocked": self._dispatch_blocked,
+            "committed": self.stats.committed,
+            "rob_head": uop_brief(head) if head is not None else None,
+            "rob_oldest": [uop_brief(uop) for uop
+                           in list(self._rob)[:limit]],
+        }
 
     # ------------------------------------------------------------------
     # Pipeline phases — the machine/orchestrator composes these per cycle
@@ -588,11 +612,17 @@ class CycleCore:
         """Sanity check for the end of a run.
 
         Raises:
-            RuntimeError: when uops are still in flight (a deadlock or a
-                commit-gate bug would surface here instead of hanging).
+            PipelineDrainError: when uops are still in flight (a
+                deadlock or a commit-gate bug would surface here
+                instead of hanging).  The error carries this core's
+                snapshot; the owning machine attaches run-level partial
+                statistics before re-raising.
         """
         if self.busy():
             head = self.rob_head
-            raise RuntimeError(
+            raise PipelineDrainError(
                 f"{self.name}: pipeline not drained; rob={len(self._rob)} "
-                f"fetchbuf={len(self._fetch_buffer)} head={head!r}")
+                f"fetchbuf={len(self._fetch_buffer)} head={head!r}",
+                machine=self.name,
+                instructions=self.stats.committed,
+                snapshot={"core": self.snapshot()})

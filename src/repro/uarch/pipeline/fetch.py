@@ -126,6 +126,20 @@ class SelfFetchUnit:
         self._next_uid += 1
         return uop
 
+    def snapshot(self) -> dict:
+        """JSON-able forensic snapshot of the front end's state."""
+        from ...integrity.forensics import uop_brief
+
+        return {
+            "cursor": self._cursor,
+            "trace_length": len(self.trace),
+            "fetched": self.fetched,
+            "icache_ready": self._icache_ready,
+            "mispredict_stalls": self.mispredict_stalls,
+            "stalled_on": (uop_brief(self._stall_on)
+                           if self._stall_on is not None else None),
+        }
+
     def reset_to(self, seq: int) -> None:
         """Rewind the fetch cursor to *seq* (used after a squash)."""
         self._cursor = seq

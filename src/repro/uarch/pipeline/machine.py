@@ -7,8 +7,13 @@ clustered core from the timing model's perspective).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections import deque
+from typing import Deque, Optional, Sequence
 
+from ...integrity.errors import (SimulationError, SimulationHang,
+                                 SimulationLimit)
+from ...integrity.forensics import uop_brief
+from ...integrity.watchdog import Watchdog
 from ...stats.cpistack import CPIStack, maybe_validate
 from ...stats.result import SimResult
 from ...trace.record import TraceRecord
@@ -18,6 +23,10 @@ from ..params import CoreParams
 from ..warmup import split_warmup, warm_state
 from .core import CycleCore
 from .fetch import SelfFetchUnit
+from .uop import Uop
+
+#: Committed uops remembered for crash forensics ("what retired last").
+RECENT_COMMITS = 16
 
 
 class SingleCoreMachine:
@@ -31,6 +40,9 @@ class SingleCoreMachine:
         machine_label: Name recorded in the :class:`SimResult`.
         max_cycles: Safety valve — a run exceeding this raises rather
             than spinning forever on a model bug.
+        watchdog_window: Forward-progress hang window in cycles
+            (``None`` = environment default, ``0`` = disabled; see
+            :mod:`repro.integrity.watchdog`).
     """
 
     def __init__(self, params: CoreParams,
@@ -38,7 +50,8 @@ class SingleCoreMachine:
                  cross_cluster_latency: int = 0,
                  cluster_issue_width: Optional[int] = None,
                  machine_label: str = "single",
-                 max_cycles: int = 200_000_000):
+                 max_cycles: int = 200_000_000,
+                 watchdog_window: Optional[int] = None):
         self.params = params
         self.machine_label = machine_label
         self.max_cycles = max_cycles
@@ -49,6 +62,8 @@ class SingleCoreMachine:
             cross_cluster_latency=cross_cluster_latency,
             cluster_issue_width=cluster_issue_width)
         self.predictor = FrontEndPredictor(params.branch)
+        self.watchdog = Watchdog(watchdog_window)
+        self._recent_commits: Deque[Uop] = deque(maxlen=RECENT_COMMITS)
 
     def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
             warmup: int = 0) -> SimResult:
@@ -62,8 +77,12 @@ class SingleCoreMachine:
                 is timed (see :mod:`repro.uarch.warmup`).
 
         Raises:
-            RuntimeError: if the run exceeds ``max_cycles`` (model bug) or
-                ends with instructions still in flight.
+            SimulationLimit: if the run exceeds ``max_cycles``.
+            SimulationHang: if the watchdog sees no commit for a whole
+                window while the run is incomplete.
+            PipelineDrainError: if the run ends with uops in flight.
+            (All are ``SimulationError``/``RuntimeError`` subclasses and
+            carry partial statistics plus a pipeline snapshot.)
         """
         if not trace:
             return SimResult(self.machine_label, self.params.name,
@@ -78,13 +97,34 @@ class SingleCoreMachine:
         cycle = 0
         committed = 0
         total = len(trace)
+        watchdog = self.watchdog
+        watchdog.reset()
+        self._recent_commits.clear()
         while committed < total:
             if cycle > self.max_cycles:
-                raise RuntimeError(
+                raise SimulationLimit(
                     f"{self.machine_label}: exceeded {self.max_cycles} "
-                    f"cycles with {committed}/{total} committed")
-            retired = len(core.phase_commit(cycle))
-            committed += retired
+                    f"cycles with {committed}/{total} committed",
+                    machine=self.machine_label, cycles=cycle,
+                    instructions=committed, total=total,
+                    partial=self._partial_stats(cycle, committed),
+                    snapshot=self.failure_snapshot(cycle, fetch))
+            if watchdog.expired(cycle, committed):
+                raise SimulationHang(
+                    f"{self.machine_label}: no commit for "
+                    f"{watchdog.stalled_for(cycle)} cycles at cycle "
+                    f"{cycle} with {committed}/{total} committed "
+                    f"({'work in flight' if core.busy() else 'frontend'})",
+                    machine=self.machine_label, cycles=cycle,
+                    instructions=committed, total=total,
+                    detail="core" if core.busy() else "frontend",
+                    partial=self._partial_stats(cycle, committed),
+                    snapshot=self.failure_snapshot(cycle, fetch))
+            retired_uops = core.phase_commit(cycle)
+            retired = len(retired_uops)
+            if retired:
+                committed += retired
+                self._recent_commits.extend(retired_uops)
             core.phase_complete(cycle)
             core.phase_issue(cycle)
             core.phase_dispatch(cycle)
@@ -92,7 +132,14 @@ class SingleCoreMachine:
             core.attribute_cycle(cycle, retired,
                                  frontend_cause=fetch.stall_cause(cycle))
             cycle += 1
-        core.drain_check()
+        try:
+            core.drain_check()
+        except SimulationError as error:
+            error.attach(machine=self.machine_label, cycles=cycle,
+                         total=total,
+                         partial=self._partial_stats(cycle, committed),
+                         snapshot=self.failure_snapshot(cycle, fetch))
+            raise
         stack = maybe_validate(CPIStack(
             machine=self.machine_label, cycles=cycle,
             instructions=committed, width=self.params.commit_width,
@@ -118,6 +165,31 @@ class SingleCoreMachine:
                 "cpistack": stack.as_dict(),
             },
         )
+
+    def _partial_stats(self, cycles: int, committed: int) -> dict:
+        """Statistics accumulated up to a failure point (not validated —
+        the ledger is only complete for fully attributed cycles)."""
+        stack = CPIStack(machine=self.machine_label, cycles=cycles,
+                         instructions=committed,
+                         width=self.params.commit_width,
+                         slots=dict(self.core.stats.commit_slots))
+        return {
+            "cycles": cycles,
+            "instructions": committed,
+            "cpistack": stack.as_dict(),
+            "core": self.core.stats.as_dict(),
+        }
+
+    def failure_snapshot(self, cycle: int,
+                         fetch: Optional[SelfFetchUnit] = None) -> dict:
+        """JSON-able pipeline snapshot for crash forensics."""
+        return {
+            "machine": self.machine_label,
+            "cycle": cycle,
+            "core": self.core.snapshot(),
+            "fetch": fetch.snapshot() if fetch is not None else None,
+            "last_committed": [uop_brief(u) for u in self._recent_commits],
+        }
 
 
 def simulate_single_core(trace: Sequence[TraceRecord], params: CoreParams,

@@ -12,11 +12,15 @@ runs the default battery on a given benchmark and reports failures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from .corefusion.machine import simulate_core_fusion
 from .fgstp.orchestrator import FgStpMachine, simulate_fgstp
 from .fgstp.params import FgStpParams
+from .integrity.chaos import ChaosSpec, apply_chaos
+from .integrity.errors import SimulationError, SimulationHang
+from .integrity.forensics import write_crash_dump
 from .trace.record import TraceRecord
 from .uarch.params import CoreParams, small_core_config
 from .uarch.pipeline.machine import simulate_single_core
@@ -121,6 +125,37 @@ def check_more_resources_never_catastrophic(
         f"worst_ratio={worst:.2f}")
 
 
+def check_watchdog_fires_on_injected_livelock(
+        trace: Sequence[TraceRecord], base: CoreParams
+) -> ValidationResult:
+    """An injected inter-core livelock trips the watchdog quickly.
+
+    A stuck value queue (delivery credits jammed from cycle 0) starves
+    the Fg-STP commit gate; the forward-progress watchdog must raise a
+    structured hang within well under 10k cycles — not spin to the 200M
+    ``max_cycles`` ceiling.  This is the integrity layer's end-to-end
+    self test, run as part of the standard battery.
+    """
+    machine = FgStpMachine(base, watchdog_window=2_000)
+    apply_chaos(machine, ChaosSpec.parse("stuck_queue:after=0"))
+    probe = list(trace[:3_000])
+    try:
+        machine.run(probe, workload="livelock-probe")
+    except SimulationHang as error:
+        passed = error.cycles < 10_000
+        return ValidationResult(
+            "watchdog_livelock_detection", passed,
+            f"{error.failure_class} raised at cycle {error.cycles} "
+            f"with {error.instructions}/{len(probe)} committed")
+    except SimulationError as error:
+        return ValidationResult(
+            "watchdog_livelock_detection", False,
+            f"unexpected failure class {error.failure_class}: {error}")
+    return ValidationResult(
+        "watchdog_livelock_detection", False,
+        "run completed despite a stuck inter-core queue")
+
+
 #: The default battery.
 CHECKS: List[Callable] = [
     check_all_machines_commit_identical_work,
@@ -128,17 +163,41 @@ CHECKS: List[Callable] = [
     check_ipc_bounds,
     check_determinism,
     check_more_resources_never_catastrophic,
+    check_watchdog_fires_on_injected_livelock,
 ]
 
 
 def validate_all(benchmark: str = "gcc", length: int = 4000,
                  base: Optional[CoreParams] = None,
-                 seed: int = 1) -> Dict[str, ValidationResult]:
-    """Run the full battery on one benchmark; returns name -> result."""
+                 seed: int = 1,
+                 crash_dir: Optional[Union[str, Path]] = None
+                 ) -> Dict[str, ValidationResult]:
+    """Run the full battery on one benchmark; returns name -> result.
+
+    A check that dies with a :class:`SimulationError` (a machine hung or
+    overflowed *inside* the check) is reported as a failed result rather
+    than aborting the battery; when *crash_dir* is given the error's
+    snapshot is serialized there and the result's detail points at it.
+    """
     base = base or small_core_config()
     trace = generate_trace(benchmark, length, seed)
     results = {}
     for check in CHECKS:
-        result = check(trace, base)
+        try:
+            result = check(trace, base)
+        except SimulationError as error:
+            detail = f"{error.failure_class}: {error}"
+            if crash_dir is not None:
+                try:
+                    dump = write_crash_dump(
+                        error, directory=Path(crash_dir),
+                        context={"benchmark": benchmark, "length": length,
+                                 "seed": seed, "config": base.name,
+                                 "check": check.__name__},
+                        workload=benchmark)
+                    detail += f" [crash dump: {dump}]"
+                except OSError:
+                    pass
+            result = ValidationResult(check.__name__, False, detail)
         results[result.name] = result
     return results

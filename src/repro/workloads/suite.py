@@ -73,22 +73,27 @@ class DiskTraceCache(TraceCache):
     format of :mod:`repro.trace.io`.  Writes are atomic (temp file +
     ``os.replace``) so concurrent workers racing to fill the same entry
     can never expose a torn file; the losers simply overwrite with
-    identical bytes.  A corrupt or truncated entry is regenerated and
+    identical bytes.  A corrupt or truncated entry is moved aside to
+    ``<cache_dir>/quarantine/`` (for inspection — a recurring corruption
+    points at a storage or writer bug, not bad luck), regenerated and
     rewritten rather than propagated.
 
     Attributes:
         hits / misses: In-memory tier statistics.
         disk_hits / disk_misses: On-disk tier statistics (misses ran the
             generator and persisted the result).
+        quarantined: Corrupt entries moved aside and regenerated.
     """
 
     def __init__(self, cache_dir: Union[str, Path]):
         super().__init__()
         self.cache_dir = Path(cache_dir) / "traces"
+        self.quarantine_dir = Path(cache_dir) / "quarantine"
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.disk_misses = 0
+        self.quarantined = 0
 
     def path_for(self, name: str, length: int, seed: int = 1) -> Path:
         """On-disk location for one trace (exists only after a get)."""
@@ -109,12 +114,27 @@ class DiskTraceCache(TraceCache):
                 if len(trace) == length:
                     self.disk_hits += 1
                     return trace
-            except (TraceFormatError, OSError):
-                pass  # fall through and regenerate
+                self._quarantine(path, f"length {len(trace)} != {length}")
+            except TraceFormatError as exc:
+                self._quarantine(path, str(exc))
+            except OSError:
+                pass  # unreadable, not provably corrupt: regenerate
         self.disk_misses += 1
         trace = generate_trace(name, length, seed)
         self._persist(trace, path)
         return trace
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside so it is kept but never re-served."""
+        self.quarantined += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def _persist(self, trace: Sequence[TraceRecord], path: Path) -> None:
         self.cache_dir.mkdir(parents=True, exist_ok=True)

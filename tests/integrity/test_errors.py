@@ -1,0 +1,77 @@
+"""The SimulationError hierarchy: classification, enrichment, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.integrity.errors import (PipelineDrainError, SimulationError,
+                                    SimulationHang, SimulationLimit)
+
+
+def test_hierarchy_is_runtime_error():
+    # Pre-existing callers catch RuntimeError; the structured errors
+    # must keep matching.
+    for cls in (SimulationError, SimulationHang, SimulationLimit,
+                PipelineDrainError):
+        assert issubclass(cls, RuntimeError)
+    with pytest.raises(RuntimeError, match="exceeded"):
+        raise SimulationLimit("fgstp: exceeded 100 cycles")
+
+
+def test_failure_class():
+    assert SimulationError("x").failure_class == "error"
+    assert SimulationHang("x").failure_class == "hang"
+    assert SimulationHang("x", detail="intercore").failure_class \
+        == "hang:intercore"
+    assert SimulationLimit("x").failure_class == "limit"
+    assert PipelineDrainError("x").failure_class == "drain"
+
+
+def test_attach_fills_only_unset_fields():
+    error = SimulationHang("stuck", machine="fgstp", cycles=123)
+    error.attach(machine="other", cycles=999, instructions=7,
+                 detail="intercore")
+    assert error.machine == "fgstp"      # raiser's value wins
+    assert error.cycles == 123
+    assert error.instructions == 7        # was unset: filled
+    assert error.detail == "intercore"
+
+
+def test_attach_merges_dict_payloads_raiser_wins():
+    error = SimulationHang("stuck", snapshot={"core": {"rob": 5}})
+    error.attach(snapshot={"core": {"rob": 99}, "fetch": {"cursor": 3}})
+    assert error.snapshot["core"] == {"rob": 5}
+    assert error.snapshot["fetch"] == {"cursor": 3}
+
+
+def test_attach_rejects_unknown_fields():
+    with pytest.raises(TypeError, match="unknown"):
+        SimulationError("x").attach(bogus=1)
+
+
+def test_as_dict_round_trips_payload():
+    error = SimulationLimit("over", machine="single", cycles=10,
+                            instructions=4, total=100,
+                            partial={"cycles": 10},
+                            snapshot={"cycle": 10},
+                            context={"benchmark": "gcc"})
+    payload = error.as_dict()
+    assert payload["failure_class"] == "limit"
+    assert payload["message"] == "over"
+    assert payload["total"] == 100
+    assert payload["partial"] == {"cycles": 10}
+    assert payload["context"] == {"benchmark": "gcc"}
+
+
+def test_pickle_preserves_everything():
+    # Errors cross the parallel engine's process boundary.
+    error = SimulationHang("stuck", machine="fgstp", cycles=42,
+                           instructions=7, total=100,
+                           partial={"cycles": 42},
+                           snapshot={"queues": [1, 2]},
+                           detail="intercore",
+                           context={"seed": 3})
+    clone = pickle.loads(pickle.dumps(error))
+    assert type(clone) is SimulationHang
+    assert str(clone) == "stuck"
+    assert clone.as_dict() == error.as_dict()

@@ -1,0 +1,72 @@
+"""Watchdog unit behaviour and the no-false-positive guarantee."""
+
+from repro.fgstp.orchestrator import FgStpMachine
+from repro.integrity.watchdog import (DEFAULT_WINDOW, ENV_WINDOW, Watchdog,
+                                      window_from_env)
+from repro.uarch.pipeline.machine import SingleCoreMachine
+from repro.workloads.generator import generate_trace
+
+
+def test_expires_only_after_a_full_quiet_window():
+    dog = Watchdog(window=10)
+    assert not dog.expired(0, 0)      # baseline
+    assert not dog.expired(10, 0)     # exactly the window: not yet
+    assert dog.expired(11, 0)         # one past: hang
+    assert dog.stalled_for(11) == 11
+
+
+def test_marker_change_resets_the_window():
+    dog = Watchdog(window=10)
+    dog.expired(0, 0)
+    assert not dog.expired(9, 1)      # progress at cycle 9
+    assert not dog.expired(19, 1)
+    assert dog.expired(20, 1)
+
+
+def test_any_marker_change_counts_including_decrease():
+    dog = Watchdog(window=5)
+    dog.expired(0, 10)
+    assert not dog.expired(4, 3)      # marker moved (any change)
+    assert not dog.expired(9, 3)
+    assert dog.expired(10, 3)
+
+
+def test_zero_window_disables():
+    dog = Watchdog(window=0)
+    assert not dog.enabled
+    dog.expired(0, 0)
+    assert not dog.expired(10 ** 9, 0)
+
+
+def test_reset_forgets_progress_state():
+    dog = Watchdog(window=5)
+    dog.expired(0, 0)
+    assert dog.expired(100, 0)
+    dog.reset()
+    assert not dog.expired(100, 0)    # fresh baseline at cycle 100
+    assert not dog.expired(105, 0)
+    assert dog.expired(106, 0)
+
+
+def test_window_from_env(monkeypatch):
+    monkeypatch.delenv(ENV_WINDOW, raising=False)
+    assert window_from_env() == DEFAULT_WINDOW
+    monkeypatch.setenv(ENV_WINDOW, "1234")
+    assert window_from_env() == 1234
+    assert Watchdog().window == 1234
+    monkeypatch.setenv(ENV_WINDOW, "0")
+    assert not Watchdog().enabled
+    monkeypatch.setenv(ENV_WINDOW, "garbage")
+    assert window_from_env() == DEFAULT_WINDOW
+    # An explicit window beats the environment.
+    monkeypatch.setenv(ENV_WINDOW, "7")
+    assert Watchdog(window=99).window == 99
+
+
+def test_no_false_positive_on_healthy_runs(small_config):
+    """Default-window watchdog stays silent across normal machines."""
+    trace = generate_trace("mcf", 3000)  # memory-hostile: longest gaps
+    single = SingleCoreMachine(small_config).run(trace)
+    fgstp = FgStpMachine(small_config).run(trace)
+    assert single.instructions == len(trace)
+    assert fgstp.instructions == len(trace)

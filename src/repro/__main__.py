@@ -14,6 +14,12 @@ Commands:
 * ``forensics`` — render a crash dump (latest by default).
 * ``minimize`` — ddmin-shrink a crash dump's failing trace to a small
   regression fixture that still fails the same way.
+* ``oracle`` — run machines with every retirement checked against the
+  commit-stream oracle (``--selftest`` proves the oracle catches
+  seeded dataflow/ordering mutations).
+* ``fuzz`` — differential fuzzing: random well-formed programs through
+  the functional interpreter and every machine under the oracle,
+  shrinking any divergence to a regression fixture.
 
 Exit codes are uniform across commands: 0 = success, 1 = an experiment
 or validation failed (including a simulation that hung or overflowed —
@@ -203,7 +209,8 @@ def cmd_sweep(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         cache_dir=None if args.no_cache else args.cache_dir,
-        progress=progress)
+        progress=progress,
+        oracle_sample=args.oracle_sample)
     jobs = matrix_jobs(benchmarks=benchmarks, seeds=args.seeds,
                        machines=args.machines, configs=args.configs,
                        trace_length=args.length, warmup=args.warmup)
@@ -220,6 +227,94 @@ def cmd_sweep(args) -> int:
 def cmd_report(args) -> int:
     print(run_and_render(config=_config(args)))
     return 0
+
+
+def cmd_oracle(args) -> int:
+    from .oracle import OracleDivergence, run_trace_under_oracle
+    from .oracle.golden import GoldenStream
+    from .oracle.selftest import format_outcomes, run_selftest
+
+    base = core_config(args.config)
+    machines = args.machines or list(MACHINES)
+
+    if args.selftest:
+        print("oracle self-test: seeded commit-stream mutations...")
+        outcomes = run_selftest(base=base, machine=machines[0],
+                                benchmark=args.benchmark,
+                                length=args.length, seed=args.seed)
+        print(format_outcomes(outcomes))
+        return 0 if all(outcome.passed for outcome in outcomes) else 1
+
+    if args.kernel:
+        from .workloads.kernels import KERNELS
+        if args.kernel not in KERNELS:
+            print(f"unknown kernel {args.kernel!r}; known: "
+                  f"{sorted(KERNELS)}", file=sys.stderr)
+            return 2
+        golden = GoldenStream.from_program(KERNELS[args.kernel]())
+        trace, warmup = golden.records, 0
+        workload = args.kernel
+        print(f"golden stream: {len(golden)} instructions from "
+              f"functional execution of kernel {args.kernel!r} "
+              "(dataflow-checked)")
+    else:
+        if args.benchmark not in PROFILES:
+            print(f"unknown benchmark {args.benchmark!r}; see `list`",
+                  file=sys.stderr)
+            return 2
+        golden = None
+        trace = generate_trace(args.benchmark, args.length, args.seed)
+        warmup = args.warmup
+        workload = args.benchmark
+        print(f"golden stream: trace fidelity over "
+              f"{len(trace) - warmup} measured instructions of "
+              f"{args.benchmark}")
+
+    failed = False
+    for machine_name in machines:
+        context = _replay_context(machine_name, args)
+        context["oracle"] = True
+        try:
+            result = run_trace_under_oracle(
+                machine_name, trace, base, golden=golden,
+                workload=workload, warmup=warmup, context=context)
+        except SimulationError as error:
+            dump = write_crash_dump(error, context=context,
+                                    workload=workload)
+            print(f"  {machine_name}: {error.failure_class}: {error} "
+                  f"[crash dump: {dump}; shrink with "
+                  f"`python -m repro minimize`]", file=sys.stderr)
+            failed = True
+            continue
+        print(f"  {machine_name}: OK — "
+              f"{result.extra['oracle']['checked']} retirements checked "
+              f"in {result.cycles} cycles")
+    return 1 if failed else 0
+
+
+def cmd_fuzz(args) -> int:
+    from .oracle import fuzz_campaign, metamorphic_checks
+    from .oracle.fuzz import describe_report
+
+    base = core_config(args.config)
+    machines = args.machines or list(MACHINES)
+    fixture_dir = Path(args.fixture_dir) if args.fixture_dir else None
+    log = None if args.quiet else (lambda line: print(line,
+                                                      file=sys.stderr))
+    report = fuzz_campaign(runs=args.runs, seed=args.seed,
+                           machines=machines, base=base,
+                           fixture_dir=fixture_dir,
+                           shrink=not args.no_shrink,
+                           blocks=args.blocks, log=log)
+    print(describe_report(report))
+    failed = not report.clean
+    if args.metamorphic:
+        print("metamorphic checks (gcc trace):")
+        trace = generate_trace("gcc", args.length, args.seed)
+        for result in metamorphic_checks(trace, base):
+            print(f"  {result}")
+            failed = failed or not result.passed
+    return 1 if failed else 0
 
 
 def cmd_validate(args) -> int:
@@ -374,6 +469,11 @@ def main(argv=None) -> int:
                                    "result store")
     sweep_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-job progress lines")
+    sweep_parser.add_argument("--oracle-sample", type=float, default=0.0,
+                              metavar="FRACTION",
+                              help="run this fraction of jobs under the "
+                                   "commit-stream oracle (deterministic "
+                                   "per-job selection; default 0)")
     _add_sizing(sweep_parser)
 
     report_parser = sub.add_parser("report",
@@ -407,12 +507,55 @@ def main(argv=None) -> int:
     minimize_parser.add_argument("--max-tests", type=int, default=512,
                                  help="probe-run budget (default 512)")
 
+    oracle_parser = sub.add_parser(
+        "oracle", help="run machines under the commit-stream oracle")
+    oracle_parser.add_argument("benchmark", nargs="?", default="gcc",
+                               help="benchmark trace to check "
+                                    "(default gcc)")
+    oracle_parser.add_argument("--config", default="small",
+                               choices=("small", "medium"))
+    oracle_parser.add_argument("--machines", nargs="*", default=[],
+                               choices=MACHINES,
+                               help="machines to check (default: all)")
+    oracle_parser.add_argument("--kernel", default=None,
+                               help="check a real assembly kernel instead "
+                                    "(architectural golden stream)")
+    oracle_parser.add_argument("--selftest", action="store_true",
+                               help="prove the oracle detects seeded "
+                                    "commit-stream mutations")
+    _add_sizing(oracle_parser)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential random-program fuzzing")
+    fuzz_parser.add_argument("--runs", type=int, default=20,
+                             help="programs to generate (default 20)")
+    fuzz_parser.add_argument("--config", default="small",
+                             choices=("small", "medium"))
+    fuzz_parser.add_argument("--machines", nargs="*", default=[],
+                             choices=MACHINES,
+                             help="machines to check (default: all)")
+    fuzz_parser.add_argument("--blocks", type=int, default=8,
+                             help="code blocks per program (size knob; "
+                                  "default 8)")
+    fuzz_parser.add_argument("--fixture-dir", default=None,
+                             help="write shrunk failures here as "
+                                  "regression fixtures")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="skip ddmin shrinking of failures")
+    fuzz_parser.add_argument("--metamorphic", action="store_true",
+                             help="also run the metamorphic relation "
+                                  "checks")
+    fuzz_parser.add_argument("--quiet", action="store_true",
+                             help="suppress per-program progress lines")
+    _add_sizing(fuzz_parser)
+
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run,
                 "simulate": cmd_simulate, "profile": cmd_profile,
                 "sweep": cmd_sweep, "report": cmd_report,
                 "validate": cmd_validate, "forensics": cmd_forensics,
-                "minimize": cmd_minimize}
+                "minimize": cmd_minimize, "oracle": cmd_oracle,
+                "fuzz": cmd_fuzz}
     return handlers[args.command](args)
 
 

@@ -113,6 +113,9 @@ class CoreFusionMachine:
             at the rename crossbar (ISCA'07 model; default 4).
         operand_crossbar_latency: Cycles for a value to cross between the
             fused back-ends (paper-family default: 2).
+        commit_hook: Retirement-stream observer ``hook(uop, cycle)``
+            forwarded to the fused core (see
+            :class:`~repro.uarch.pipeline.machine.SingleCoreMachine`).
     """
 
     def __init__(self, base: CoreParams,
@@ -120,7 +123,8 @@ class CoreFusionMachine:
                  operand_crossbar_latency: Optional[int] = None,
                  lsq_crossing_penalty: Optional[int] = None,
                  max_cycles: int = 200_000_000,
-                 watchdog_window: Optional[int] = None):
+                 watchdog_window: Optional[int] = None,
+                 commit_hook=None):
         self.base = base
         self.frontend_overhead = (
             default_frontend_overhead(base) if frontend_overhead is None
@@ -140,7 +144,8 @@ class CoreFusionMachine:
             cluster_issue_width=base.issue_width,
             machine_label="corefusion",
             max_cycles=max_cycles,
-            watchdog_window=watchdog_window)
+            watchdog_window=watchdog_window,
+            commit_hook=commit_hook)
 
     @property
     def hierarchy(self):

@@ -26,6 +26,30 @@ from .orchestrator import FgStpMachine
 from .params import FgStpParams
 
 
+class _OffsetUop:
+    """Read-only uop view whose ``seq`` is shifted into the global
+    measured stream.
+
+    Region machines run re-sequenced slices (each region's measured
+    suffix restarts at seq 0), so a commit hook attached to the adaptive
+    machine would otherwise see the same seq repeatedly.  This proxy
+    presents ``local seq + region offset`` while forwarding every other
+    attribute to the real uop.
+    """
+
+    __slots__ = ("_uop", "seq")
+
+    def __init__(self, uop, seq: int):
+        self._uop = uop
+        self.seq = seq
+
+    def __getattr__(self, name):
+        return getattr(self._uop, name)
+
+    def __repr__(self) -> str:
+        return f"<OffsetUop seq={self.seq} of {self._uop!r}>"
+
+
 class AdaptiveFgStpMachine:
     """Fg-STP with coarse-grain engage/disengage decisions.
 
@@ -40,6 +64,15 @@ class AdaptiveFgStpMachine:
             quiescing, fetch redirect to the partition unit).
         watchdog_window: Forward-progress hang window forwarded to every
             region machine (``None`` = environment default).
+        commit_hook: Optional observer called as ``hook(uop, cycle)``
+            once per architecturally retired measured instruction, with
+            ``uop.seq`` global across regions (0-based over the whole
+            measured stream).  Only the chosen mode's full-region run is
+            observed — the sampling probes model performance counters
+            and retire nothing architecturally.  Cycles restart at every
+            region boundary; when the hook object exposes
+            ``new_epoch()`` it is invoked at each boundary so stream
+            checkers can reset per-region clock expectations.
     """
 
     def __init__(self, base: CoreParams,
@@ -47,7 +80,9 @@ class AdaptiveFgStpMachine:
                  sample_instructions: int = 4000,
                  region_instructions: int = 20000,
                  reconfigure_penalty: int = 200,
-                 watchdog_window: Optional[int] = None):
+                 watchdog_window: Optional[int] = None,
+                 commit_hook=None):
+        self.commit_hook = commit_hook
         if sample_instructions <= 0:
             raise ValueError("sample_instructions must be positive")
         if region_instructions < sample_instructions:
@@ -74,9 +109,11 @@ class AdaptiveFgStpMachine:
         modes = []
         stacks = []
         previous_mode = None
+        measured_offset = 0
         for region_trace, region_warmup in regions:
             mode, region_result = self._run_region(
-                region_trace, region_warmup, workload)
+                region_trace, region_warmup, workload, measured_offset)
+            measured_offset += len(region_trace) - region_warmup
             cycles = region_result.cycles
             stack = cpistack_of(region_result)
             if previous_mode is not None and mode != previous_mode:
@@ -140,7 +177,24 @@ class AdaptiveFgStpMachine:
                 start = end
         return regions
 
-    def _run_region(self, region_trace, region_warmup, workload):
+    def _region_hook(self, offset: int):
+        """Shim translating a region machine's local commit stream into
+        the global one: shifts seq by *offset* and announces the region
+        boundary (cycles restart) to epoch-aware hooks."""
+        user_hook = self.commit_hook
+        if user_hook is None:
+            return None
+        new_epoch = getattr(user_hook, "new_epoch", None)
+        if new_epoch is not None:
+            new_epoch()
+
+        def shim(uop, cycle: int) -> None:
+            user_hook(_OffsetUop(uop, uop.seq + offset), cycle)
+
+        return shim
+
+    def _run_region(self, region_trace, region_warmup, workload,
+                    offset: int = 0):
         window = self.watchdog_window
         sample_end = min(len(region_trace),
                          region_warmup + self.sample_instructions)
@@ -151,15 +205,21 @@ class AdaptiveFgStpMachine:
         fgstp_sample = FgStpMachine(
             self.base, self.fgstp, watchdog_window=window).run(
             sample, workload=workload, warmup=region_warmup)
+        # Only the winning mode's full-region run retires the region
+        # architecturally; the sample runs above model performance
+        # counters and stay invisible to the commit hook.
+        hook = self._region_hook(offset)
         if fgstp_sample.cycles <= single_sample.cycles:
             mode = "fgstp"
             result = FgStpMachine(
-                self.base, self.fgstp, watchdog_window=window).run(
+                self.base, self.fgstp, watchdog_window=window,
+                commit_hook=hook).run(
                 region_trace, workload=workload, warmup=region_warmup)
         else:
             mode = "single"
             result = SingleCoreMachine(
-                self.base, watchdog_window=window).run(
+                self.base, watchdog_window=window,
+                commit_hook=hook).run(
                 region_trace, workload=workload, warmup=region_warmup)
         return mode, result
 

@@ -79,14 +79,20 @@ class FgStpMachine:
         watchdog_window: Forward-progress hang window in cycles
             (``None`` = environment default, ``0`` = disabled; see
             :mod:`repro.integrity.watchdog`).
+        commit_hook: Optional observer called as ``hook(uop, cycle)``
+            once per *architectural* retirement, in global sequence
+            order — for a replicated instruction it fires when the last
+            replica clears the commit gate.  ``None`` costs nothing.
     """
 
     def __init__(self, base: CoreParams,
                  fgstp: Optional[FgStpParams] = None,
                  max_cycles: int = 200_000_000,
                  policy: Optional[str] = None,
-                 watchdog_window: Optional[int] = None):
+                 watchdog_window: Optional[int] = None,
+                 commit_hook=None):
         self.base = base
+        self.commit_hook = commit_hook
         self.fgstp = fgstp or FgStpParams()
         self.max_cycles = max_cycles
         self.policy_name = policy or "chain"
@@ -294,6 +300,8 @@ class FgStpMachine:
             self._copies.pop(seq, None)
             self._live.pop(seq, None)
             self._global_next = seq + 1
+            if self.commit_hook is not None:
+                self.commit_hook(uop, cycle)
         else:
             self._copies[seq] = count
 

@@ -31,6 +31,7 @@ with ``REPRO_WORKERS`` for free.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -71,6 +72,8 @@ class SweepJob:
         fgstp: Fg-STP parameters (fgstp machines only).
         overrides: Machine-specific constructor kwargs as a sorted item
             tuple (kept hashable/picklable).
+        oracle: Run under the commit-stream oracle (every retirement
+            checked against the trace; divergences fail the job).
     """
 
     machine: str
@@ -79,16 +82,18 @@ class SweepJob:
     config: ExperimentConfig
     fgstp: Optional[FgStpParams] = None
     overrides: Tuple[Tuple[str, Any], ...] = ()
+    oracle: bool = False
 
     @property
     def name(self) -> str:
         """Short human-readable label for progress lines."""
+        suffix = "/oracle" if self.oracle else ""
         return (f"{self.machine}/{self.benchmark}"
-                f"/{self.base.name}/s{self.config.seed}")
+                f"/{self.base.name}/s{self.config.seed}{suffix}")
 
     def key(self) -> str:
         """Content-hash of everything that determines this job's result."""
-        blob = "|".join((
+        parts = [
             str(_RESULT_CACHE_VERSION),
             self.machine,
             trace_key(self.benchmark, self.config.trace_length,
@@ -97,18 +102,26 @@ class SweepJob:
             repr(self.base),
             repr(self.fgstp),
             repr(self.overrides),
-        ))
+        ]
+        if self.oracle:
+            # Appended conditionally so pre-oracle cache entries keep
+            # their keys (an oracle-checked result also carries an
+            # ``extra["oracle"]`` block plain runs lack).
+            parts.append("oracle")
+        blob = "|".join(parts)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
 def make_job(machine: str, benchmark: str, base: CoreParams,
              config: ExperimentConfig,
              fgstp: Optional[FgStpParams] = None,
+             oracle: bool = False,
              **overrides) -> SweepJob:
     """Build a :class:`SweepJob` from ``run_machine``-style arguments."""
     return SweepJob(machine=machine, benchmark=benchmark, base=base,
                     config=config, fgstp=fgstp,
-                    overrides=tuple(sorted(overrides.items())))
+                    overrides=tuple(sorted(overrides.items())),
+                    oracle=oracle)
 
 
 def matrix_jobs(benchmarks: Sequence[str], seeds: Sequence[int],
@@ -155,6 +168,15 @@ def _init_worker(cache_dir: Optional[str]) -> None:
 
 def execute_job(job: SweepJob) -> SimResult:
     """Run one job against the process-local trace cache."""
+    if job.oracle:
+        from ..oracle.attach import run_trace_under_oracle
+
+        trace = _PROCESS_CACHE.get(job.benchmark, job.config.trace_length,
+                                   job.config.seed)
+        return run_trace_under_oracle(
+            job.machine, trace, job.base, fgstp=job.fgstp,
+            workload=job.benchmark, warmup=job.config.warmup,
+            **dict(job.overrides))
     return run_machine(job.machine, job.benchmark, job.base, job.config,
                        fgstp=job.fgstp, cache=_PROCESS_CACHE,
                        **dict(job.overrides))
@@ -384,6 +406,10 @@ class ExperimentEngine:
             set).
         progress: Optional callback ``(event, message)`` with events
             ``job-done``, ``job-retry``, ``job-failed``, ``stage``.
+        oracle_sample: Fraction of jobs (0..1) to run under the
+            commit-stream oracle.  Selection is a deterministic hash of
+            each job's content key, so re-running the same sweep checks
+            the same jobs.  Sampled jobs carry a distinct cache key.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
@@ -393,7 +419,8 @@ class ExperimentEngine:
                  cache_dir: Optional[Union[str, Path]] = None,
                  result_cache: bool = True,
                  trace_cache: Optional[TraceCache] = None,
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None,
+                 oracle_sample: float = 0.0):
         self.max_workers = max(1, int(max_workers or 1))
         self.timeout = timeout
         self.retries = max(0, int(retries))
@@ -402,6 +429,7 @@ class ExperimentEngine:
         self.result_cache = bool(result_cache and self.cache_dir)
         self.trace_cache = trace_cache
         self.progress = progress
+        self.oracle_sample = min(1.0, max(0.0, float(oracle_sample)))
 
     # -- public API ----------------------------------------------------
 
@@ -413,7 +441,7 @@ class ExperimentEngine:
         Permanent failures never raise — they are reported in
         ``outcome.failures`` so one poisoned job cannot sink a sweep.
         """
-        jobs = list(jobs)
+        jobs = [self._maybe_oracle(job) for job in jobs]
         started = time.monotonic()
         metrics = SweepMetrics(jobs_total=len(jobs),
                                workers=self.max_workers)
@@ -470,6 +498,20 @@ class ExperimentEngine:
         if not outcome.ok:
             raise SweepError(outcome.failures)
         return [result for result in outcome.results if result is not None]
+
+    def _maybe_oracle(self, job: SweepJob) -> SweepJob:
+        """Promote *job* to oracle-checked when it falls in the sample.
+
+        The decision hashes the job's *plain* content key, so it is
+        stable across runs, independent of job order, and unaffected by
+        the promotion itself.
+        """
+        if not self.oracle_sample or job.oracle:
+            return job
+        draw = int(job.key(), 16) % 10_000
+        if draw < self.oracle_sample * 10_000:
+            return dataclasses.replace(job, oracle=True)
+        return job
 
     # -- serial path ---------------------------------------------------
 
@@ -712,6 +754,8 @@ class ExperimentEngine:
             "warmup": job.config.warmup,
             "seed": job.config.seed,
         }
+        if job.oracle:
+            context["oracle"] = True
         chaos = os.environ.get(ENV_CHAOS)
         if chaos:
             context["chaos"] = chaos

@@ -140,6 +140,11 @@ def replay_run_fn(context: Dict[str, Any]
     is re-applied to every probe machine so injected faults reproduce.
     Probes run without warm-up — the minimizer shrinks raw triggers, and
     warm-up prefixes are exactly the kind of bulk it exists to remove.
+
+    A truthy ``oracle`` entry (failures raised while running under the
+    commit-stream oracle) makes every probe re-check trace fidelity:
+    the candidate itself becomes the golden stream, preserving "this
+    machine mis-retires its own input" while shrinking.
     """
     from ..harness.runners import build_machine
     from ..uarch.params import core_config
@@ -148,6 +153,10 @@ def replay_run_fn(context: Dict[str, Any]
     base = core_config(str(context.get("config", "small")))
     chaos_raw = context.get("chaos")
     spec = ChaosSpec.parse(str(chaos_raw)) if chaos_raw else None
+
+    if context.get("oracle"):
+        from ..oracle.attach import oracle_run_fn
+        return oracle_run_fn(machine_name, base, chaos=spec)
 
     def run(candidate: Sequence[TraceRecord]):
         machine = build_machine(machine_name, base)

@@ -14,6 +14,7 @@ Public API::
 """
 
 from .assembler import Assembler, assemble
+from .disasm import disassemble
 from .errors import AssemblerError, ExecutionError, IsaError, ProgramError
 from .instruction import Instruction
 from .interpreter import ExecutionResult, Interpreter, MachineState, run_program
@@ -36,6 +37,7 @@ from .registers import (
 __all__ = [
     "Assembler",
     "assemble",
+    "disassemble",
     "AssemblerError",
     "ExecutionError",
     "IsaError",

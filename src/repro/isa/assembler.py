@@ -153,9 +153,15 @@ class Assembler:
 
         if shape is OperandShape.RRR:
             need(3)
-            return (_parse_reg(operands[0], line_no, raw),
-                    (_parse_reg(operands[1], line_no, raw),
-                     _parse_reg(operands[2], line_no, raw)), 0, None)
+            dst = _parse_reg(operands[0], line_no, raw)
+            srcs = (_parse_reg(operands[1], line_no, raw),
+                    _parse_reg(operands[2], line_no, raw))
+            if info.name == "fmadd":
+                # fmadd rd, rs1, rs2 computes rs1*rs2 + rd: the
+                # accumulator is a true source, so it must appear in
+                # srcs or the timing models miss the dependence.
+                srcs = srcs + (dst,)
+            return dst, srcs, 0, None
         if shape is OperandShape.RRI:
             if info.name == "mov":
                 need(2)

@@ -1,0 +1,105 @@
+"""Disassembler: turn a resolved :class:`Program` back into source text.
+
+The output is *assembler-round-trippable*: feeding it back through
+:func:`repro.isa.assembler.assemble` reproduces the same instruction
+list, data segment and name.  This is deliberately stronger than
+:meth:`Program.listing` (a human-readable dump whose memory operands and
+resolved targets do not re-parse) — the property tests in
+``tests/isa`` rely on ``asm → Program → disasm → asm`` being stable.
+
+Labels are canonicalised: every control-flow target instruction index
+``i`` gets the label ``L<i>``, so disassembling twice yields identical
+text (a fixed point after one round trip).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .errors import ProgramError
+from .instruction import Instruction
+from .opcodes import OperandShape
+from .program import Program
+from .registers import register_name
+
+#: Shapes whose ``imm`` is a code-segment target needing a label.
+_LABELLED_SHAPES = (OperandShape.BRANCH, OperandShape.JUMP,
+                    OperandShape.CALL)
+
+
+def _target_labels(program: Program) -> Dict[int, str]:
+    """Canonical label for every instruction index used as a target."""
+    targets = {instr.imm for instr in program.instructions
+               if instr.info.shape in _LABELLED_SHAPES}
+    return {index: f"L{index}" for index in sorted(targets)}
+
+
+def _format(instr: Instruction, labels: Dict[int, str]) -> str:
+    """One instruction in assembler syntax (no label prefix)."""
+    info = instr.info
+    shape = info.shape
+    name = info.name
+    if shape is OperandShape.RRR:
+        srcs = instr.srcs
+        if name == "fmadd":
+            # The accumulator (== dst) is appended to srcs by the
+            # assembler; the textual form carries it only once.
+            srcs = srcs[:2]
+        operands = [register_name(instr.dst)] + \
+            [register_name(s) for s in srcs]
+    elif shape is OperandShape.RRI:
+        if name == "mov":
+            operands = [register_name(instr.dst),
+                        register_name(instr.srcs[0])]
+        else:
+            operands = [register_name(instr.dst),
+                        register_name(instr.srcs[0]), str(instr.imm)]
+    elif shape is OperandShape.RI:
+        operands = [register_name(instr.dst), str(instr.imm)]
+    elif shape is OperandShape.MEM:
+        if info.store:
+            # Store srcs are (base, value); the text form is
+            # ``st value, disp(base)``.
+            operands = [register_name(instr.srcs[1]),
+                        f"{instr.imm}({register_name(instr.srcs[0])})"]
+        else:
+            operands = [register_name(instr.dst),
+                        f"{instr.imm}({register_name(instr.srcs[0])})"]
+    elif shape is OperandShape.BRANCH:
+        operands = [register_name(instr.srcs[0]),
+                    register_name(instr.srcs[1]), labels[instr.imm]]
+    elif shape is OperandShape.JUMP:
+        operands = [labels[instr.imm]]
+    elif shape is OperandShape.JR:
+        operands = [register_name(instr.srcs[0])]
+    elif shape is OperandShape.CALL:
+        operands = [labels[instr.imm]]
+    elif shape in (OperandShape.RET, OperandShape.NONE):
+        operands = []
+    else:  # pragma: no cover - the shape enum is closed
+        raise ProgramError(f"unhandled operand shape {shape}")
+    return f"{name} {', '.join(operands)}" if operands else name
+
+
+def disassemble(program: Program) -> str:
+    """Round-trippable assembly source for a resolved *program*.
+
+    Raises:
+        ProgramError: when the program still carries unresolved labels
+            (run :meth:`Program.resolve_labels` first).
+    """
+    for index, instr in enumerate(program.instructions):
+        if instr.label is not None:
+            raise ProgramError(
+                f"instruction {index} has unresolved label "
+                f"{instr.label!r}; disassembly needs a resolved program")
+    lines: List[str] = [f".name {program.name}",
+                        f".data {program.data_size}"]
+    for offset in sorted(program.data_init):
+        lines.append(f".word {offset} {program.data_init[offset]}")
+    labels = _target_labels(program)
+    for index, instr in enumerate(program.instructions):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append(f"    {_format(instr, labels)}")
+    return "\n".join(lines) + "\n"

@@ -107,6 +107,23 @@ class Interpreter:
             trace.append(self._step(program, state, len(trace)))
         return ExecutionResult(program, state, trace)
 
+    def step(self, program: Program, state: MachineState,
+             seq: int) -> TraceRecord:
+        """Execute exactly one instruction at ``state.pc``.
+
+        The public seam for shadow replays (the commit-stream oracle's
+        golden-stream builder re-executes a program one instruction at a
+        time to capture architectural values alongside each record).
+
+        Raises:
+            ExecutionError: on any illegal architectural event.
+        """
+        if not 0 <= state.pc < len(program.instructions):
+            raise ExecutionError(
+                f"pc {state.pc} outside code segment of "
+                f"{len(program.instructions)}")
+        return self._step(program, state, seq)
+
     def _step(self, program: Program, state: MachineState,
               seq: int) -> TraceRecord:
         instr = program.instructions[state.pc]

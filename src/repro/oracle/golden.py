@@ -1,0 +1,206 @@
+"""Golden streams: what retirement *should* look like.
+
+A :class:`GoldenStream` is the reference the oracle checks machines
+against.  It comes in two fidelities:
+
+* **Trace fidelity** (:meth:`GoldenStream.from_trace`) — the stream a
+  correct machine must retire is, by construction, the trace it was
+  fed, in order.  No values; works for synthetic (generator) traces.
+* **Architectural fidelity** (:meth:`GoldenStream.from_program`) — a
+  shadow run of the functional interpreter, one :meth:`~repro.isa.
+  interpreter.Interpreter.step` at a time, capturing the value written
+  to the destination register and the bytes touched in memory for every
+  instruction.  The shadow run also cross-checks *declared* dataflow
+  against *actual* dataflow: every register the interpreter read must
+  appear in the record's ``srcs`` and the registers written must be
+  exactly ``dst``.  This is the check that catches assembler/
+  interpreter disagreements of the ``fmadd`` class (an instruction
+  reading its accumulator without declaring it, so timing models miss
+  the dependence).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence
+
+from ..isa.interpreter import Interpreter, MachineState
+from ..isa.program import Program
+from ..isa.registers import register_name
+from ..trace.record import TraceRecord
+from .oracle import OracleDivergence
+
+
+class GoldenEvent:
+    """One golden retirement: a trace record plus (optionally) the
+    architectural values the shadow interpreter observed.
+
+    Attributes:
+        record: The trace record.
+        dst_value: Value written to ``record.dst`` (``None`` without a
+            destination or in trace-fidelity streams).
+        mem_value: Raw little-endian bytes at ``record.mem_addr`` after
+            the instruction executed (``None`` for non-memory ops or
+            trace-fidelity streams).
+    """
+
+    __slots__ = ("record", "dst_value", "mem_value")
+
+    def __init__(self, record: TraceRecord, dst_value=None,
+                 mem_value: Optional[bytes] = None):
+        self.record = record
+        self.dst_value = dst_value
+        self.mem_value = mem_value
+
+    def as_dict(self) -> dict:
+        r = self.record
+        return {
+            "seq": r.seq,
+            "pc": r.pc,
+            "op_class": r.op_class.name,
+            "dst": r.dst,
+            "srcs": list(r.srcs),
+            "mem_addr": r.mem_addr,
+            "mem_size": r.mem_size,
+            "taken": r.taken,
+            "target": r.target,
+            "dst_value": self.dst_value,
+            "mem_value": self.mem_value.hex() if self.mem_value else None,
+        }
+
+    def __repr__(self) -> str:
+        value = "" if self.dst_value is None else f" = {self.dst_value!r}"
+        return f"<GoldenEvent {self.record!r}{value}>"
+
+
+class _RecordingState(MachineState):
+    """Machine state logging every register read/write of one step."""
+
+    def __init__(self, program: Program):
+        super().__init__(program)
+        self.reads: List[int] = []
+        self.writes: List[tuple] = []
+
+    def begin_step(self) -> None:
+        self.reads.clear()
+        self.writes.clear()
+
+    def read_reg(self, reg_id: int):
+        self.reads.append(reg_id)
+        return super().read_reg(reg_id)
+
+    def write_reg(self, reg_id: int, value) -> None:
+        self.writes.append((reg_id, value))
+        super().write_reg(reg_id, value)
+
+
+class GoldenStream:
+    """The reference retirement stream for one measured run.
+
+    Indexing is positional — golden record ``seq`` fields are not
+    consulted, so a warm-up suffix of a larger trace can be passed
+    directly without re-sequencing.
+    """
+
+    def __init__(self, events: Sequence[GoldenEvent], source: str = "trace"):
+        self.events = list(events)
+        self.source = source
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __getitem__(self, index: int) -> GoldenEvent:
+        return self.events[index]
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return [event.record for event in self.events]
+
+    @classmethod
+    def from_trace(cls, trace: Sequence[TraceRecord]) -> "GoldenStream":
+        """Trace-fidelity golden stream: the trace itself, in order."""
+        return cls([GoldenEvent(record) for record in trace],
+                   source="trace")
+
+    @classmethod
+    def from_program(cls, program: Program,
+                     entry: Optional[str] = None,
+                     max_instructions: int = 5_000_000) -> "GoldenStream":
+        """Architectural-fidelity golden stream via shadow execution.
+
+        Raises:
+            OracleDivergence: (``detail="dataflow"``) when an
+                instruction's actual register reads/writes disagree with
+                the trace record's declared ``srcs``/``dst``.
+            ExecutionError: on any architectural fault or budget
+                exhaustion, exactly as a plain interpreter run would.
+        """
+        interpreter = Interpreter(max_instructions=max_instructions)
+        state = _RecordingState(program)
+        if entry is not None:
+            state.pc = program.label_index(entry)
+        events: List[GoldenEvent] = []
+        while not state.halted:
+            if len(events) >= max_instructions:
+                from ..isa.errors import ExecutionError
+                raise ExecutionError(
+                    f"instruction budget of {max_instructions} exhausted "
+                    "without halt")
+            state.begin_step()
+            record = interpreter.step(program, state, len(events))
+            _check_dataflow(record, state.reads, state.writes)
+            dst_value = state.writes[-1][1] if state.writes else None
+            mem_value = None
+            if record.mem_addr is not None:
+                mem_value = bytes(state.memory[
+                    record.mem_addr:record.mem_addr + record.mem_size])
+            events.append(GoldenEvent(record, dst_value, mem_value))
+        return cls(events, source="program")
+
+
+def _check_dataflow(record: TraceRecord, reads: Sequence[int],
+                    writes: Sequence[tuple]) -> None:
+    """Declared vs. actual dataflow of one shadow-executed instruction."""
+    declared = set(record.srcs)
+    undeclared = sorted({reg for reg in reads if reg not in declared})
+    if undeclared:
+        names = ", ".join(register_name(reg) for reg in undeclared)
+        _dataflow_error(
+            record,
+            f"read registers not declared in srcs: {names} "
+            f"(declared {tuple(record.srcs)}) — timing models will miss "
+            "this dependence")
+    written = [reg for reg, _ in writes]
+    expected = [record.dst] if record.dst is not None else []
+    # r0 writes are architectural no-ops but still declared, so compare
+    # the register *names*, not the resulting state change.
+    if written != expected:
+        _dataflow_error(
+            record,
+            f"wrote registers {[register_name(r) for r in written]} but "
+            f"record declares dst="
+            f"{register_name(record.dst) if record.dst is not None else None}")
+
+
+def _dataflow_error(record: TraceRecord, message: str) -> None:
+    raise OracleDivergence(
+        f"golden: shadow execution of seq {record.seq} (pc {record.pc}, "
+        f"{record.op_class.name}) has inconsistent dataflow: {message}",
+        machine="golden",
+        instructions=record.seq,
+        snapshot={"record": repr(record)},
+        detail="dataflow")
+
+
+def format_memory_value(raw: Optional[bytes]) -> Optional[str]:
+    """Human-readable rendering of a golden memory value for reports."""
+    if raw is None:
+        return None
+    if len(raw) == 8:
+        as_int = struct.unpack("<q", raw)[0]
+        as_fp = struct.unpack("<d", raw)[0]
+        return f"{as_int} / {as_fp!r}"
+    return raw.hex()

@@ -1,0 +1,101 @@
+"""Metamorphic checks: relations between runs, not absolute answers.
+
+The oracle proves a machine retired the right instructions; it cannot
+say whether the *cycle counts* are sane.  Metamorphic testing covers
+that gap with relations any correct timing model must satisfy across
+parameter changes on the same trace:
+
+* **Window scaling** — enlarging the out-of-order window (ROB / IQ /
+  LSQ) can only help, within a small tolerance for scheduling
+  artifacts: a strictly larger window must not be meaningfully slower.
+* **Inter-core latency monotonicity** — Fg-STP's whole premise is that
+  cross-core communication costs cycles; raising the inter-core queue
+  latency must not make the partitioned machine meaningfully faster.
+
+Both return :class:`~repro.validation.ValidationResult` so they slot
+into the existing validation battery and CLI reporting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..validation import ValidationResult
+
+#: Relative slack allowed before a relation counts as violated. The
+#: models are deterministic but not perfectly monotonic (a bigger
+#: window can shift one branch resolution and ripple), so the checks
+#: assert trends, not totals.
+DEFAULT_TOLERANCE = 0.02
+
+
+def check_window_scaling(trace, base, machine: str = "single",
+                         factor: int = 2,
+                         tolerance: float = DEFAULT_TOLERANCE,
+                         ) -> ValidationResult:
+    """A *factor*-times larger OOO window must not be notably slower."""
+    from ..oracle.attach import run_trace_under_oracle
+
+    small = run_trace_under_oracle(machine, trace, base,
+                                   workload="metamorphic")
+    grown = base.with_(
+        name=f"{base.name}-x{factor}win",
+        rob_entries=factor * base.rob_entries,
+        iq_entries=factor * base.iq_entries,
+        lsq_entries=factor * base.lsq_entries)
+    big = run_trace_under_oracle(machine, trace, grown,
+                                 workload="metamorphic")
+    limit = small.cycles * (1.0 + tolerance)
+    passed = big.cycles <= limit
+    return ValidationResult(
+        name=f"window-scaling-{machine}",
+        passed=passed,
+        detail=(f"{base.rob_entries}-entry ROB: {small.cycles} cycles, "
+                f"{grown.rob_entries}-entry ROB: {big.cycles} cycles "
+                f"(limit {limit:.0f})"))
+
+
+def check_intercore_latency_monotonic(
+        trace, base, fgstp=None,
+        latencies: Sequence[int] = (1, 3, 6),
+        tolerance: float = DEFAULT_TOLERANCE) -> ValidationResult:
+    """Raising Fg-STP's queue latency must not speed the machine up."""
+    import dataclasses
+
+    from ..fgstp.params import FgStpParams
+    from ..oracle.attach import run_trace_under_oracle
+
+    params = fgstp or FgStpParams()
+    cycles: List[int] = []
+    for latency in latencies:
+        result = run_trace_under_oracle(
+            "fgstp", trace, base,
+            fgstp=dataclasses.replace(params, queue_latency=latency),
+            workload="metamorphic")
+        cycles.append(result.cycles)
+    violations = [
+        f"{latencies[i]}->{latencies[i + 1]} cycles "
+        f"{cycles[i]}->{cycles[i + 1]}"
+        for i in range(len(cycles) - 1)
+        if cycles[i + 1] < cycles[i] * (1.0 - tolerance)
+    ]
+    return ValidationResult(
+        name="intercore-latency-monotonic",
+        passed=not violations,
+        detail=(f"latency {list(latencies)} -> cycles {cycles}"
+                + (f"; violations: {'; '.join(violations)}"
+                   if violations else "")))
+
+
+def metamorphic_checks(trace, base, fgstp=None,
+                       tolerance: float = DEFAULT_TOLERANCE,
+                       ) -> List[ValidationResult]:
+    """Run the full metamorphic battery on one trace."""
+    return [
+        check_window_scaling(trace, base, machine="single",
+                             tolerance=tolerance),
+        check_window_scaling(trace, base, machine="fgstp",
+                             tolerance=tolerance),
+        check_intercore_latency_monotonic(trace, base, fgstp=fgstp,
+                                          tolerance=tolerance),
+    ]

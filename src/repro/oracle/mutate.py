@@ -1,0 +1,98 @@
+"""Seeded commit-stream mutators: known bugs the oracle must catch.
+
+Each mutator models one concrete class of retirement bug a timing model
+could plausibly grow — a renamer writing the wrong destination, a store
+silently dropped from the commit path, commits leaving the ROB out of
+order, a load observing a stale/wrong address, a branch redirecting to
+the wrong target, a seq retired twice (Fg-STP replica dedup failing).
+
+The self-test (:mod:`repro.oracle.selftest`) injects each mutation into
+an otherwise-correct machine's stream and asserts the oracle reports a
+divergence of the expected class at the expected place.  Mutators are
+deterministic pure functions of ``(kind, index)`` so failures replay.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .stream import CommitEvent
+
+#: Every mutation kind the self-test must prove detectable, mapped to
+#: the divergence ``detail`` the oracle is expected to raise.
+MUTATION_KINDS = {
+    "wrong-dest": "dataflow",
+    "dropped-commit": "order",
+    "reordered-commit": "order",
+    "stale-value": "memory",
+    "wrong-branch-target": "control",
+    "duplicate-commit": "order",
+}
+
+
+class EventMutator:
+    """Applies one seeded mutation to the event at stream index *index*.
+
+    Use :meth:`process` on every event (returns the possibly-empty list
+    of events to forward) and :meth:`flush` once at end of stream (the
+    reordering mutation may still hold a buffered event).
+    """
+
+    def __init__(self, kind: str, index: int):
+        if kind not in MUTATION_KINDS:
+            raise ValueError(
+                f"unknown mutation {kind!r}; known: "
+                f"{', '.join(sorted(MUTATION_KINDS))}")
+        self.kind = kind
+        self.index = index
+        self.applied = False
+        self._held: Optional[CommitEvent] = None
+
+    @property
+    def expected_detail(self) -> str:
+        """Divergence class the oracle must report for this mutation."""
+        return MUTATION_KINDS[self.kind]
+
+    def process(self, event: CommitEvent) -> List[CommitEvent]:
+        if self._held is not None:
+            held, self._held = self._held, None
+            return [event, held]
+        if event.seq != self.index:
+            return [event]
+        self.applied = True
+        kind = self.kind
+        if kind == "wrong-dest":
+            if event.dst is None:
+                raise ValueError(
+                    f"wrong-dest needs a destination at seq {self.index}")
+            return [event.replace(dst=event.dst ^ 1)]
+        if kind == "dropped-commit":
+            return []
+        if kind == "reordered-commit":
+            self._held = event
+            return []
+        if kind == "stale-value":
+            if event.mem_addr is None:
+                raise ValueError(
+                    f"stale-value needs a memory op at seq {self.index}")
+            return [event.replace(mem_addr=event.mem_addr + 8)]
+        if kind == "wrong-branch-target":
+            if not event.taken or event.target is None:
+                raise ValueError(
+                    f"wrong-branch-target needs a taken transfer at seq "
+                    f"{self.index}")
+            return [event.replace(target=event.target + 1)]
+        if kind == "duplicate-commit":
+            return [event, event]
+        raise AssertionError(f"unhandled mutation {kind!r}")
+
+    def flush(self) -> List[CommitEvent]:
+        if self._held is not None:
+            held, self._held = self._held, None
+            return [held]
+        return []
+
+
+def make_mutator(kind: str, index: int) -> EventMutator:
+    """Deterministic mutator injecting *kind* at stream index *index*."""
+    return EventMutator(kind, index)

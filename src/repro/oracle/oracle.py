@@ -1,0 +1,207 @@
+"""The commit-stream oracle: differential checking of retirement.
+
+A :class:`CommitStreamOracle` consumes a machine's commit events (via
+:class:`OracleHook` attached as the machine's ``commit_hook``) and
+checks them, one by one, against a :class:`~repro.oracle.golden.
+GoldenStream`.  The first divergence raises :class:`OracleDivergence`
+describing exactly which invariant broke:
+
+========== =========================================================
+``detail`` violated invariant
+========== =========================================================
+order      retirement is the dense program order 0, 1, 2, … (no
+           skips, duplicates, or out-of-order commits)
+dataflow   destination / source registers match the golden record
+memory     memory address and access size match
+control    pc, branch outcome and transfer target match
+decode     operation class matches
+clock      retirement cycles are non-decreasing within an epoch
+incomplete the stream ended before the golden stream did
+========== =========================================================
+
+``OracleDivergence`` subclasses :class:`repro.integrity.errors.
+SimulationError`, so divergences flow through the existing forensics
+machinery for free: crash dumps, sweep failure handling, and ddmin
+trace minimization all apply unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional
+
+from ..integrity.errors import SimulationError
+from .stream import CommitEvent
+
+#: Events remembered for the divergence snapshot ("what retired last").
+RECENT_EVENTS = 8
+
+
+class OracleDivergence(SimulationError):
+    """A machine's retirement stream disagreed with the golden stream."""
+
+    kind = "oracle"
+
+
+class CommitStreamOracle:
+    """Checks one machine's commit stream against a golden stream.
+
+    The oracle is stateful and single-use: attach it to exactly one
+    machine run, then call :meth:`finish` after the run returns (an
+    abnormal machine death raises its own error first, so ``finish``
+    is only reached on runs that claim success).
+
+    Args:
+        golden: The reference stream (positional indexing; golden
+            record ``seq`` fields are ignored so warm-up suffixes can
+            be passed without re-sequencing).
+        machine: Machine label for divergence reports.
+        workload: Workload name for divergence reports.
+        context: Replay recipe attached to any divergence raised.
+    """
+
+    def __init__(self, golden, machine: str = "", workload: str = "",
+                 context: Optional[Dict[str, Any]] = None):
+        self.golden = golden
+        self.machine = machine
+        self.workload = workload
+        self.context = dict(context) if context else {}
+        self._next = 0
+        self._last_cycle = -1
+        self._recent = deque(maxlen=RECENT_EVENTS)
+
+    # -- epoch handling ------------------------------------------------
+
+    def new_epoch(self) -> None:
+        """Reset the cycle watermark (the adaptive machine restarts its
+        clock at every region boundary; seq stays globally monotonic)."""
+        self._last_cycle = -1
+
+    # -- checking ------------------------------------------------------
+
+    @property
+    def events_checked(self) -> int:
+        return self._next
+
+    def feed(self, event: CommitEvent) -> None:
+        """Check one retirement; raises on the first divergence."""
+        golden = self.golden
+        if event.cycle < self._last_cycle:
+            self._diverge(
+                "clock",
+                f"seq {event.seq} retired at cycle {event.cycle}, after "
+                f"cycle {self._last_cycle} had already retired",
+                event)
+        if event.seq != self._next:
+            if event.seq < self._next:
+                what = "duplicate/out-of-order commit"
+            else:
+                what = (f"skipped seq {self._next}"
+                        + ("" if event.seq == self._next + 1
+                           else f"..{event.seq - 1}"))
+            self._diverge(
+                "order",
+                f"expected seq {self._next}, machine retired seq "
+                f"{event.seq} ({what})",
+                event)
+        if self._next >= len(golden):
+            self._diverge(
+                "order",
+                f"machine retired seq {event.seq} beyond the end of the "
+                f"golden stream ({len(golden)} instructions)",
+                event)
+        expected = golden[self._next]
+        record = expected.record
+        mismatched = []
+        if event.op_class != record.op_class:
+            mismatched.append(("decode", "op_class", record.op_class.name,
+                               event.op_class.name))
+        for detail, name in (("control", "pc"),
+                             ("dataflow", "dst"), ("dataflow", "srcs"),
+                             ("memory", "mem_addr"), ("memory", "mem_size"),
+                             ("control", "taken"), ("control", "target")):
+            want = getattr(record, name)
+            if name == "srcs":
+                want = tuple(want)
+            got = getattr(event, name)
+            if got != want:
+                mismatched.append((detail, name, want, got))
+        if mismatched:
+            detail = mismatched[0][0]
+            fields = ", ".join(
+                f"{name}: expected {want!r}, got {got!r}"
+                for _, name, want, got in mismatched)
+            self._diverge(detail,
+                          f"seq {event.seq} (pc {record.pc}) diverged: "
+                          f"{fields}", event, expected)
+        self._next += 1
+        self._last_cycle = event.cycle
+        self._recent.append(event)
+
+    def finish(self) -> None:
+        """Assert the whole golden stream retired; call after the run."""
+        if self._next != len(self.golden):
+            self._diverge(
+                "incomplete",
+                f"machine claimed completion after {self._next} of "
+                f"{len(self.golden)} golden instructions")
+
+    def hook(self, mutator=None) -> "OracleHook":
+        """A ``commit_hook`` feeding this oracle (optionally mutated)."""
+        return OracleHook(self, mutator=mutator)
+
+    # -- reporting -----------------------------------------------------
+
+    def _diverge(self, detail: str, message: str,
+                 event: Optional[CommitEvent] = None,
+                 expected=None) -> None:
+        if expected is None and self._next < len(self.golden):
+            expected = self.golden[self._next]
+        snapshot = {
+            "expected": expected.as_dict() if expected is not None else None,
+            "got": event.as_dict() if event is not None else None,
+            "recent_commits": [e.as_dict() for e in self._recent],
+        }
+        prefix = f"{self.machine}: " if self.machine else ""
+        raise OracleDivergence(
+            f"{prefix}commit-stream divergence ({detail}): {message}",
+            machine=self.machine,
+            cycles=event.cycle if event is not None else self._last_cycle,
+            instructions=self._next,
+            total=len(self.golden),
+            snapshot=snapshot,
+            detail=detail,
+            context=dict(self.context))
+
+
+class OracleHook:
+    """Adapter between a machine's ``commit_hook`` protocol and an
+    oracle (plus an optional stream mutator for the self-test).
+
+    Instances are callable as ``hook(uop, cycle)`` and expose
+    ``new_epoch()`` for region-boundary announcements from the adaptive
+    machine.  Call :meth:`finish` once after the machine run returns —
+    it drains any mutator-buffered events, then runs the oracle's
+    completeness check.
+    """
+
+    def __init__(self, oracle: CommitStreamOracle, mutator=None):
+        self.oracle = oracle
+        self.mutator = mutator
+
+    def __call__(self, uop, cycle: int) -> None:
+        event = CommitEvent.from_uop(uop, cycle)
+        if self.mutator is None:
+            self.oracle.feed(event)
+        else:
+            for mutated in self.mutator.process(event):
+                self.oracle.feed(mutated)
+
+    def new_epoch(self) -> None:
+        self.oracle.new_epoch()
+
+    def finish(self) -> None:
+        if self.mutator is not None:
+            for mutated in self.mutator.flush():
+                self.oracle.feed(mutated)
+        self.oracle.finish()

@@ -1,0 +1,127 @@
+"""Commit events: what one architectural retirement looked like.
+
+A :class:`CommitEvent` is the oracle's wire format.  Every machine's
+``commit_hook`` delivers ``(uop, cycle)`` pairs; :meth:`CommitEvent.
+from_uop` flattens them into a plain value object so the checking side
+never touches live pipeline state (uops are recycled, proxied and
+mutated by the machines that own them).
+
+The architectural fields mirror :class:`repro.trace.TraceRecord`; the
+``cycle`` / ``core_id`` / ``replica`` fields are simulator-side
+diagnostics that enrich divergence reports but are never compared
+against the golden stream (except the per-epoch cycle monotonicity
+check).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..isa.opcodes import OpClass
+
+
+class CommitEvent:
+    """One architecturally retired instruction, as the machine saw it.
+
+    Attributes:
+        seq: Global position in the measured retirement stream.
+        pc: Static instruction address (instruction index).
+        op_class: :class:`repro.isa.opcodes.OpClass`.
+        dst: Destination architectural register id or ``None``.
+        srcs: Source architectural register ids.
+        mem_addr: Byte address touched, or ``None``.
+        mem_size: Access size in bytes (0 for non-memory ops).
+        taken: Branch outcome.
+        target: Transfer target PC, or ``None``.
+        cycle: Cycle the instruction retired (machine-local clock).
+        core_id: Core that retired it (0 on unclustered machines).
+        replica: Whether the retiring uop was an Fg-STP replica.
+    """
+
+    __slots__ = ("seq", "pc", "op_class", "dst", "srcs", "mem_addr",
+                 "mem_size", "taken", "target", "cycle", "core_id",
+                 "replica")
+
+    def __init__(self, seq: int, pc: int, op_class: OpClass,
+                 dst: Optional[int] = None,
+                 srcs: Tuple[int, ...] = (),
+                 mem_addr: Optional[int] = None,
+                 mem_size: int = 0,
+                 taken: bool = False,
+                 target: Optional[int] = None,
+                 cycle: int = 0,
+                 core_id: int = 0,
+                 replica: bool = False):
+        self.seq = seq
+        self.pc = pc
+        self.op_class = op_class
+        self.dst = dst
+        self.srcs = srcs
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.taken = taken
+        self.target = target
+        self.cycle = cycle
+        self.core_id = core_id
+        self.replica = replica
+
+    @classmethod
+    def from_uop(cls, uop, cycle: int) -> "CommitEvent":
+        """Flatten a retiring uop into an event.
+
+        ``seq`` is read from the *uop* (not its record): the adaptive
+        machine's region shim presents a globally shifted seq there
+        while the underlying record keeps its region-local numbering.
+        """
+        record = uop.record
+        return cls(
+            seq=uop.seq,
+            pc=record.pc,
+            op_class=record.op_class,
+            dst=record.dst,
+            srcs=tuple(record.srcs),
+            mem_addr=record.mem_addr,
+            mem_size=record.mem_size,
+            taken=record.taken,
+            target=record.target,
+            cycle=cycle,
+            core_id=getattr(uop, "core_id", 0),
+            replica=bool(getattr(uop, "replica", False)),
+        )
+
+    def replace(self, **changes) -> "CommitEvent":
+        """A copy with some fields overridden (mutators use this)."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(changes)
+        return CommitEvent(**fields)
+
+    def as_dict(self) -> dict:
+        """JSON-able form for divergence snapshots."""
+        return {
+            "seq": self.seq,
+            "pc": self.pc,
+            "op_class": self.op_class.name,
+            "dst": self.dst,
+            "srcs": list(self.srcs),
+            "mem_addr": self.mem_addr,
+            "mem_size": self.mem_size,
+            "taken": self.taken,
+            "target": self.target,
+            "cycle": self.cycle,
+            "core_id": self.core_id,
+            "replica": self.replica,
+        }
+
+    def __repr__(self) -> str:
+        extras = []
+        if self.dst is not None:
+            extras.append(f"dst={self.dst}")
+        if self.srcs:
+            extras.append(f"srcs={self.srcs}")
+        if self.mem_addr is not None:
+            extras.append(f"addr={self.mem_addr:#x}/{self.mem_size}")
+        if self.taken:
+            extras.append(f"taken->{self.target}")
+        detail = " ".join(extras)
+        return (f"<CommitEvent #{self.seq} pc={self.pc} "
+                f"{self.op_class.name} {detail} @cycle {self.cycle}>")

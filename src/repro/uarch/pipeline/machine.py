@@ -8,7 +8,7 @@ clustered core from the timing model's perspective).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Sequence
+from typing import Callable, Deque, Optional, Sequence
 
 from ...integrity.errors import (SimulationError, SimulationHang,
                                  SimulationLimit)
@@ -43,6 +43,10 @@ class SingleCoreMachine:
         watchdog_window: Forward-progress hang window in cycles
             (``None`` = environment default, ``0`` = disabled; see
             :mod:`repro.integrity.watchdog`).
+        commit_hook: Optional observer called as ``hook(uop, cycle)``
+            for every architecturally retired uop, in retirement order.
+            ``None`` (the default) costs nothing on the hot path; the
+            commit-stream oracle (:mod:`repro.oracle`) attaches here.
     """
 
     def __init__(self, params: CoreParams,
@@ -51,8 +55,10 @@ class SingleCoreMachine:
                  cluster_issue_width: Optional[int] = None,
                  machine_label: str = "single",
                  max_cycles: int = 200_000_000,
-                 watchdog_window: Optional[int] = None):
+                 watchdog_window: Optional[int] = None,
+                 commit_hook: Optional[Callable[[Uop, int], None]] = None):
         self.params = params
+        self.commit_hook = commit_hook
         self.machine_label = machine_label
         self.max_cycles = max_cycles
         self.hierarchy = CacheHierarchy(params)
@@ -125,6 +131,9 @@ class SingleCoreMachine:
             if retired:
                 committed += retired
                 self._recent_commits.extend(retired_uops)
+                if self.commit_hook is not None:
+                    for uop in retired_uops:
+                        self.commit_hook(uop, cycle)
             core.phase_complete(cycle)
             core.phase_issue(cycle)
             core.phase_dispatch(cycle)

@@ -148,3 +148,43 @@ def test_sweep_to_text_reports_failures():
     assert "failures (1):" in text
     assert "single/BOOM" in text
     assert "jobs: total=2 done=1 failed=1" in text
+
+
+def test_cli_oracle_checks_all_machines(capsys):
+    assert main(["oracle", "gcc", "--length", "600", "--warmup", "100",
+                 "--machines", "single", "fgstp"]) == 0
+    out = capsys.readouterr().out
+    assert "single" in out and "fgstp" in out
+    assert "500" in out  # measured instructions checked
+
+
+def test_cli_oracle_selftest(capsys):
+    assert main(["oracle", "--selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "6/6 mutation classes detected" in out
+
+
+def test_cli_oracle_kernel_uses_program_fidelity(capsys):
+    assert main(["oracle", "--kernel", "vector_sum",
+                 "--machines", "single"]) == 0
+    out = capsys.readouterr().out
+    assert "functional execution" in out and "dataflow-checked" in out
+    assert "OK" in out
+
+
+def test_cli_fuzz_small_campaign(capsys):
+    assert main(["fuzz", "--runs", "2", "--seed", "3", "--blocks", "4",
+                 "--machines", "single", "fgstp", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz campaign: 2 programs" in out
+    assert "no divergences" in out
+
+
+def test_cli_sweep_oracle_sample(tmp_path, capsys):
+    assert main(["sweep", "--benchmarks", "gcc", "--seeds", "1",
+                 "--machines", "single", "--workers", "1",
+                 "--length", "1500", "--warmup", "500", "--quiet",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--oracle-sample", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "jobs: total=1 done=1 failed=0" in out

@@ -1,0 +1,15 @@
+.name fmadd_dataflow
+.data 64
+    # Regression for the fmadd accumulator-dependence bug: fmadd reads
+    # its destination (d = d + a*b) but the assembler originally did
+    # not declare the accumulator in srcs, so the shadow interpreter's
+    # dataflow cross-check flagged an undeclared read and every timing
+    # model scheduled the chain as if it were independent.
+    fli f1, 2
+    fli f2, 3
+    fli f3, 1
+    fmadd f3, f1, f2
+    fmadd f3, f1, f2
+    fmadd f3, f1, f2
+    fst f3, 0(r0)
+    halt

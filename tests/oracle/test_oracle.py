@@ -1,0 +1,250 @@
+"""CommitStreamOracle divergence taxonomy and mutator unit tests."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.oracle import (CommitEvent, CommitStreamOracle, EventMutator,
+                          GoldenStream, MUTATION_KINDS, OracleDivergence,
+                          make_mutator)
+from repro.trace.record import TraceRecord
+
+
+def _trace():
+    return [
+        TraceRecord(0, 0, OpClass.IALU, 1, (2,)),
+        TraceRecord(1, 1, OpClass.LOAD, 3, (1,), mem_addr=0x40,
+                    mem_size=8),
+        TraceRecord(2, 2, OpClass.STORE, None, (1, 3), mem_addr=0x48,
+                    mem_size=8),
+        TraceRecord(3, 3, OpClass.BRANCH, None, (3, 0), taken=True,
+                    target=0),
+        TraceRecord(4, 4, OpClass.IALU, 4, (3,)),
+    ]
+
+
+def _event(record, cycle=0, **changes):
+    event = CommitEvent(seq=record.seq, pc=record.pc,
+                        op_class=record.op_class, dst=record.dst,
+                        srcs=tuple(record.srcs),
+                        mem_addr=record.mem_addr,
+                        mem_size=record.mem_size, taken=record.taken,
+                        target=record.target, cycle=cycle)
+    return event.replace(**changes) if changes else event
+
+
+def _oracle(**kwargs):
+    return CommitStreamOracle(GoldenStream.from_trace(_trace()), **kwargs)
+
+
+class TestCleanStream:
+
+    def test_exact_stream_passes(self):
+        oracle = _oracle()
+        for cycle, record in enumerate(_trace()):
+            oracle.feed(_event(record, cycle=cycle))
+        oracle.finish()
+        assert oracle.events_checked == 5
+
+    def test_same_cycle_commits_allowed(self):
+        # Superscalar commit: several retirements in one cycle is fine;
+        # only a *decreasing* cycle is a clock divergence.
+        oracle = _oracle()
+        for record in _trace():
+            oracle.feed(_event(record, cycle=7))
+        oracle.finish()
+
+
+class TestDivergenceTaxonomy:
+
+    def _feed_until(self, oracle, upto, cycle=0):
+        for record in _trace()[:upto]:
+            oracle.feed(_event(record, cycle=cycle))
+
+    def test_skipped_seq_is_order(self):
+        oracle = _oracle()
+        trace = _trace()
+        oracle.feed(_event(trace[0]))
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(trace[2]))
+        assert exc.value.detail == "order"
+        assert "skipped seq 1" in str(exc.value)
+
+    def test_duplicate_seq_is_order(self):
+        oracle = _oracle()
+        trace = _trace()
+        oracle.feed(_event(trace[0]))
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(trace[0]))
+        assert exc.value.detail == "order"
+        assert "duplicate/out-of-order" in str(exc.value)
+
+    def test_wrong_dst_is_dataflow(self):
+        oracle = _oracle()
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(_trace()[0], dst=5))
+        assert exc.value.detail == "dataflow"
+
+    def test_wrong_srcs_is_dataflow(self):
+        oracle = _oracle()
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(_trace()[0], srcs=(6,)))
+        assert exc.value.detail == "dataflow"
+
+    def test_wrong_address_is_memory(self):
+        oracle = _oracle()
+        self._feed_until(oracle, 1)
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(_trace()[1], mem_addr=0x41))
+        assert exc.value.detail == "memory"
+
+    def test_wrong_size_is_memory(self):
+        oracle = _oracle()
+        self._feed_until(oracle, 1)
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(_trace()[1], mem_size=4))
+        assert exc.value.detail == "memory"
+
+    def test_wrong_pc_is_control(self):
+        oracle = _oracle()
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(_trace()[0], pc=9))
+        assert exc.value.detail == "control"
+
+    def test_wrong_outcome_is_control(self):
+        oracle = _oracle()
+        self._feed_until(oracle, 3)
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(_trace()[3], taken=False, target=None))
+        assert exc.value.detail == "control"
+
+    def test_wrong_target_is_control(self):
+        oracle = _oracle()
+        self._feed_until(oracle, 3)
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(_trace()[3], target=2))
+        assert exc.value.detail == "control"
+
+    def test_wrong_op_class_is_decode(self):
+        oracle = _oracle()
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(_trace()[0], op_class=OpClass.IMUL))
+        assert exc.value.detail == "decode"
+
+    def test_backwards_cycle_is_clock(self):
+        oracle = _oracle()
+        trace = _trace()
+        oracle.feed(_event(trace[0], cycle=10))
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(trace[1], cycle=9))
+        assert exc.value.detail == "clock"
+
+    def test_new_epoch_resets_the_cycle_watermark(self):
+        # The adaptive machine restarts its clock at region boundaries
+        # and announces them; a lower cycle after new_epoch is legal.
+        oracle = _oracle()
+        trace = _trace()
+        oracle.feed(_event(trace[0], cycle=100))
+        oracle.new_epoch()
+        oracle.feed(_event(trace[1], cycle=0))
+        assert oracle.events_checked == 2
+
+    def test_early_end_is_incomplete(self):
+        oracle = _oracle()
+        self._feed_until(oracle, 3)
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.finish()
+        assert exc.value.detail == "incomplete"
+        assert "3 of 5" in str(exc.value)
+
+    def test_commit_beyond_golden_end_is_order(self):
+        oracle = _oracle()
+        self._feed_until(oracle, 5)
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(CommitEvent(seq=5, pc=5, op_class=OpClass.IALU))
+        assert exc.value.detail == "order"
+        assert "beyond the end" in str(exc.value)
+
+
+class TestDivergencePayload:
+
+    def test_carries_forensics_snapshot_and_context(self):
+        oracle = _oracle(machine="fgstp", workload="gcc",
+                         context={"benchmark": "gcc", "seed": 1})
+        trace = _trace()
+        oracle.feed(_event(trace[0], cycle=3))
+        with pytest.raises(OracleDivergence) as exc:
+            oracle.feed(_event(trace[1], cycle=4, dst=9))
+        error = exc.value
+        assert error.kind == "oracle"
+        assert error.failure_class == "oracle:dataflow"
+        assert error.machine == "fgstp"
+        assert str(error).startswith("fgstp: ")
+        assert error.instructions == 1 and error.total == 5
+        assert error.context["benchmark"] == "gcc"
+        snapshot = error.snapshot
+        assert snapshot["expected"]["dst"] == 3
+        assert snapshot["got"]["dst"] == 9
+        assert len(snapshot["recent_commits"]) == 1
+
+
+class TestMutators:
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventMutator("bit-rot", 0)
+
+    def test_passthrough_off_index(self):
+        mutator = make_mutator("wrong-dest", 3)
+        event = _event(_trace()[0])
+        assert mutator.process(event) == [event]
+        assert not mutator.applied
+
+    def test_wrong_dest_flips_register(self):
+        mutator = make_mutator("wrong-dest", 0)
+        out = mutator.process(_event(_trace()[0]))
+        assert out[0].dst == _trace()[0].dst ^ 1
+        assert mutator.applied
+
+    def test_wrong_dest_needs_a_destination(self):
+        mutator = make_mutator("wrong-dest", 2)  # seq 2 is a store
+        with pytest.raises(ValueError):
+            mutator.process(_event(_trace()[2]))
+
+    def test_dropped_commit_swallows_event(self):
+        mutator = make_mutator("dropped-commit", 0)
+        assert mutator.process(_event(_trace()[0])) == []
+
+    def test_reordered_commit_holds_then_swaps(self):
+        mutator = make_mutator("reordered-commit", 0)
+        first = _event(_trace()[0])
+        second = _event(_trace()[1])
+        assert mutator.process(first) == []
+        assert mutator.process(second) == [second, first]
+
+    def test_reordered_commit_flushes_at_end_of_stream(self):
+        mutator = make_mutator("reordered-commit", 0)
+        event = _event(_trace()[0])
+        mutator.process(event)
+        assert mutator.flush() == [event]
+        assert mutator.flush() == []
+
+    def test_stale_value_shifts_address(self):
+        mutator = make_mutator("stale-value", 1)
+        out = mutator.process(_event(_trace()[1]))
+        assert out[0].mem_addr == 0x48
+
+    def test_wrong_branch_target(self):
+        mutator = make_mutator("wrong-branch-target", 3)
+        out = mutator.process(_event(_trace()[3]))
+        assert out[0].target == 1
+
+    def test_duplicate_commit(self):
+        mutator = make_mutator("duplicate-commit", 0)
+        event = _event(_trace()[0])
+        assert mutator.process(event) == [event, event]
+
+    def test_every_kind_names_its_expected_detail(self):
+        for kind, detail in MUTATION_KINDS.items():
+            assert make_mutator(kind, 0).expected_detail == detail
+        assert set(MUTATION_KINDS.values()) <= {"order", "dataflow",
+                                                "memory", "control"}

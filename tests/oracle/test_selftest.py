@@ -1,0 +1,30 @@
+"""The oracle's own smoke detector: every seeded bug class must fire."""
+
+import pytest
+
+from repro.oracle import MUTATION_KINDS, run_selftest
+from repro.oracle.selftest import format_outcomes
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_selftest(length=1200)
+
+
+def test_every_mutation_class_is_detected_and_classified(outcomes):
+    assert {o.kind for o in outcomes} == set(MUTATION_KINDS)
+    for outcome in outcomes:
+        assert outcome.detected, f"{outcome.kind}: {outcome.message}"
+        assert outcome.detail == outcome.expected_detail, (
+            f"{outcome.kind} reported {outcome.detail!r}, expected "
+            f"{outcome.expected_detail!r}")
+        assert outcome.passed
+        # First-divergence reporting: the message names the seq.
+        assert "seq" in outcome.message
+
+
+def test_selftest_report_renders(outcomes):
+    report = format_outcomes(outcomes)
+    assert f"{len(outcomes)}/{len(outcomes)} mutation classes" in report
+    for kind in MUTATION_KINDS:
+        assert kind in report

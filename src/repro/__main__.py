@@ -20,6 +20,11 @@ Commands:
 * ``fuzz`` — differential fuzzing: random well-formed programs through
   the functional interpreter and every machine under the oracle,
   shrinking any divergence to a regression fixture.
+* ``timeline`` — per-uop pipeline event traces for one benchmark on
+  any machines, exported as Chrome trace-event JSON (load in
+  Perfetto), Konata pipeline logs, JSONL, or an ASCII timeline.
+* ``metrics`` — run machines with the unified metrics registry
+  attached and print every counter/gauge/histogram.
 
 Exit codes are uniform across commands: 0 = success, 1 = an experiment
 or validation failed (including a simulation that hung or overflowed —
@@ -112,10 +117,10 @@ def _replay_context(machine_name: str, args) -> dict:
     return context
 
 
-def _run_or_dump(machine_name: str, trace, base, args):
+def _run_or_dump(machine_name: str, trace, base, args, **overrides):
     """Run one machine; on a structured failure, write a crash dump and
     print a one-line pointer (returns ``None``)."""
-    machine = build_machine(machine_name, base)
+    machine = build_machine(machine_name, base, **overrides)
     try:
         return machine.run(trace, workload=args.benchmark,
                            warmup=args.warmup)
@@ -210,7 +215,8 @@ def cmd_sweep(args) -> int:
         retries=args.retries,
         cache_dir=None if args.no_cache else args.cache_dir,
         progress=progress,
-        oracle_sample=args.oracle_sample)
+        oracle_sample=args.oracle_sample,
+        trace_sample=args.trace_sample)
     jobs = matrix_jobs(benchmarks=benchmarks, seeds=args.seeds,
                        machines=args.machines, configs=args.configs,
                        trace_length=args.length, warmup=args.warmup)
@@ -315,6 +321,115 @@ def cmd_fuzz(args) -> int:
             print(f"  {result}")
             failed = failed or not result.passed
     return 1 if failed else 0
+
+
+def _obs_machines(args):
+    return list(args.machines) or list(MACHINES)
+
+
+def cmd_timeline(args) -> int:
+    import json
+
+    from .harness.report import occupancy_text, timeline_text
+    from .obs.export import chrome_trace, events_jsonl, konata_log
+    from .obs.tracer import PipelineTracer
+
+    if args.experiment:
+        experiment_id = args.experiment.upper()
+        if experiment_id not in REGISTRY:
+            print(f"unknown experiment {args.experiment!r}; see `list`",
+                  file=sys.stderr)
+            return 2
+        # E2 is the small-CMP headline; every other experiment's
+        # machines run the medium configuration.
+        args.config = "small" if experiment_id == "E2" else "medium"
+    if args.benchmark not in PROFILES:
+        print(f"unknown benchmark {args.benchmark!r}; see `list`",
+              file=sys.stderr)
+        return 2
+    base = core_config(args.config)
+    trace = generate_trace(args.benchmark, args.length, args.seed)
+    machine_events = {}
+    for machine_name in _obs_machines(args):
+        tracer = PipelineTracer(capacity=args.capacity,
+                                sample_window=args.sample_window,
+                                sample_period=args.sample_period)
+        result = _run_or_dump(machine_name, trace, base, args,
+                              tracer=tracer)
+        if result is None:
+            return 1
+        machine_events[machine_name] = tracer.events()
+
+    out = Path(args.out) if args.out else None
+    if args.format == "chrome":
+        payload = chrome_trace(machine_events)
+        if out is not None:
+            with out.open("w") as stream:
+                json.dump(payload, stream)
+            print(f"wrote {out} "
+                  f"({len(payload['traceEvents'])} trace events; "
+                  f"load in Perfetto / chrome://tracing)")
+        else:
+            print(json.dumps(payload))
+        return 0
+    for machine_name, events in machine_events.items():
+        if args.format == "ascii":
+            print(timeline_text(
+                events, title=f"{machine_name}: pipeline timeline "
+                              f"({args.benchmark}, {args.config})"))
+            print()
+            print(occupancy_text(
+                events, title=f"{machine_name}: commit occupancy"))
+            print()
+            continue
+        if args.format == "konata":
+            text = konata_log(events)
+        else:  # jsonl
+            text = "".join(line + "\n" for line in events_jsonl(events))
+        if out is not None:
+            path = (out if len(machine_events) == 1
+                    else out.with_name(
+                        f"{out.stem}.{machine_name}{out.suffix}"))
+            path.write_text(text)
+            print(f"wrote {path}")
+        else:
+            print(f"== {machine_name} ==")
+            print(text, end="")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    from .harness.report import metrics_table
+    from .obs.metrics import MetricsRegistry
+
+    if args.benchmark not in PROFILES:
+        print(f"unknown benchmark {args.benchmark!r}; see `list`",
+              file=sys.stderr)
+        return 2
+    base = core_config(args.config)
+    trace = generate_trace(args.benchmark, args.length, args.seed)
+    registries = {}
+    for machine_name in _obs_machines(args):
+        registry = MetricsRegistry()
+        result = _run_or_dump(machine_name, trace, base, args,
+                              metrics=registry)
+        if result is None:
+            return 1
+        registries[machine_name] = registry
+    if args.json:
+        print(json.dumps(
+            {name: registry.as_dict()
+             for name, registry in registries.items()},
+            indent=1, sort_keys=True))
+        return 0
+    for machine_name, registry in registries.items():
+        print(metrics_table(
+            registry, title=f"{machine_name}: metrics "
+                            f"({args.benchmark}, {args.config})"))
+        print()
+    return 0
 
 
 def cmd_validate(args) -> int:
@@ -474,6 +589,13 @@ def main(argv=None) -> int:
                               help="run this fraction of jobs under the "
                                    "commit-stream oracle (deterministic "
                                    "per-job selection; default 0)")
+    sweep_parser.add_argument("--trace-sample", type=float, default=0.0,
+                              metavar="FRACTION",
+                              help="attach a sampled pipeline tracer to "
+                                   "this fraction of jobs (event dumps "
+                                   "under <cache-dir>/traces/; "
+                                   "deterministic per-job selection; "
+                                   "default 0)")
     _add_sizing(sweep_parser)
 
     report_parser = sub.add_parser("report",
@@ -549,13 +671,59 @@ def main(argv=None) -> int:
                              help="suppress per-program progress lines")
     _add_sizing(fuzz_parser)
 
+    timeline_parser = sub.add_parser(
+        "timeline", help="per-uop pipeline event trace / timeline export")
+    timeline_parser.add_argument("benchmark", nargs="?", default="gcc",
+                                 help="benchmark to trace (default gcc)")
+    timeline_parser.add_argument("--experiment", default=None,
+                                 help="size the run like this experiment "
+                                      "(E2 = small CMP, others medium)")
+    timeline_parser.add_argument("--config", default="medium",
+                                 choices=("small", "medium"))
+    timeline_parser.add_argument("--machines", nargs="*", default=[],
+                                 choices=MACHINES,
+                                 help="machines to trace (default: all)")
+    timeline_parser.add_argument("--format", default="chrome",
+                                 choices=("chrome", "konata", "jsonl",
+                                          "ascii"),
+                                 help="output format (default chrome; "
+                                      "load in Perfetto)")
+    timeline_parser.add_argument("--out", default=None,
+                                 help="output file (default stdout; "
+                                      "multi-machine konata/jsonl files "
+                                      "get a machine suffix)")
+    timeline_parser.add_argument("--capacity", type=int, default=65536,
+                                 help="event ring capacity "
+                                      "(default 65536)")
+    timeline_parser.add_argument("--sample-window", type=int, default=0,
+                                 help="cycles per sampling window "
+                                      "(0 = record everything)")
+    timeline_parser.add_argument("--sample-period", type=int, default=1,
+                                 help="record one window in every N")
+    _add_sizing(timeline_parser)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="unified metrics registry for one benchmark")
+    metrics_parser.add_argument("benchmark", nargs="?", default="gcc",
+                                help="benchmark to run (default gcc)")
+    metrics_parser.add_argument("--config", default="medium",
+                                choices=("small", "medium"))
+    metrics_parser.add_argument("--machines", nargs="*", default=[],
+                                choices=MACHINES,
+                                help="machines to run (default: all)")
+    metrics_parser.add_argument("--json", action="store_true",
+                                help="emit one JSON document instead of "
+                                     "tables")
+    _add_sizing(metrics_parser)
+
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run,
                 "simulate": cmd_simulate, "profile": cmd_profile,
                 "sweep": cmd_sweep, "report": cmd_report,
                 "validate": cmd_validate, "forensics": cmd_forensics,
                 "minimize": cmd_minimize, "oracle": cmd_oracle,
-                "fuzz": cmd_fuzz}
+                "fuzz": cmd_fuzz, "timeline": cmd_timeline,
+                "metrics": cmd_metrics}
     return handlers[args.command](args)
 
 

@@ -116,6 +116,8 @@ class CoreFusionMachine:
         commit_hook: Retirement-stream observer ``hook(uop, cycle)``
             forwarded to the fused core (see
             :class:`~repro.uarch.pipeline.machine.SingleCoreMachine`).
+        tracer / metrics: Observability attachments, forwarded to the
+            fused core (same zero-cost contract as ``commit_hook``).
     """
 
     def __init__(self, base: CoreParams,
@@ -124,8 +126,10 @@ class CoreFusionMachine:
                  lsq_crossing_penalty: Optional[int] = None,
                  max_cycles: int = 200_000_000,
                  watchdog_window: Optional[int] = None,
-                 commit_hook=None):
+                 commit_hook=None, tracer=None, metrics=None):
         self.base = base
+        self.tracer = tracer
+        self.metrics = metrics
         self.frontend_overhead = (
             default_frontend_overhead(base) if frontend_overhead is None
             else frontend_overhead)
@@ -145,7 +149,8 @@ class CoreFusionMachine:
             machine_label="corefusion",
             max_cycles=max_cycles,
             watchdog_window=watchdog_window,
-            commit_hook=commit_hook)
+            commit_hook=commit_hook,
+            tracer=tracer, metrics=metrics)
 
     @property
     def hierarchy(self):

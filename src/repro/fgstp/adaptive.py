@@ -73,6 +73,16 @@ class AdaptiveFgStpMachine:
             region boundary; when the hook object exposes
             ``new_epoch()`` it is invoked at each boundary so stream
             checkers can reset per-region clock expectations.
+        tracer: Optional :class:`~repro.obs.tracer.PipelineTracer`.
+            Attached to each region's *winning* full run (the sampling
+            probes stay invisible, like the commit hook) with epoch
+            offsets shifting region-local cycles/seqs into the global
+            timeline; mode switches appear as ``reconfig`` instants
+            spanning the reconfiguration penalty.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            filled with region/switch statistics at the end of the run
+            (not forwarded to region machines — their per-region
+            warm-up resets would wipe earlier regions' metrics).
     """
 
     def __init__(self, base: CoreParams,
@@ -81,8 +91,10 @@ class AdaptiveFgStpMachine:
                  region_instructions: int = 20000,
                  reconfigure_penalty: int = 200,
                  watchdog_window: Optional[int] = None,
-                 commit_hook=None):
+                 commit_hook=None, tracer=None, metrics=None):
         self.commit_hook = commit_hook
+        self.tracer = tracer
+        self.metrics = metrics
         if sample_instructions <= 0:
             raise ValueError("sample_instructions must be positive")
         if region_instructions < sample_instructions:
@@ -112,7 +124,8 @@ class AdaptiveFgStpMachine:
         measured_offset = 0
         for region_trace, region_warmup in regions:
             mode, region_result = self._run_region(
-                region_trace, region_warmup, workload, measured_offset)
+                region_trace, region_warmup, workload, measured_offset,
+                cycle_offset=total_cycles, previous_mode=previous_mode)
             measured_offset += len(region_trace) - region_warmup
             cycles = region_result.cycles
             stack = cpistack_of(region_result)
@@ -137,6 +150,20 @@ class AdaptiveFgStpMachine:
         if stacks:
             extra["cpistack"] = maybe_validate(
                 CPIStack.concat(stacks, machine="fgstp-adaptive")).as_dict()
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.gauge("sim.cycles").set(total_cycles)
+            metrics.gauge("sim.instructions").set(total_instructions)
+            metrics.gauge("sim.ipc").set(
+                total_instructions / total_cycles if total_cycles else 0.0)
+            metrics.counter("adaptive.regions").value = len(modes)
+            metrics.counter("adaptive.switches").value = switches
+            metrics.counter("adaptive.fgstp_regions").value = \
+                modes.count("fgstp")
+            metrics.counter("adaptive.single_regions").value = \
+                modes.count("single")
+            metrics.counter("adaptive.reconfig_cycles").value = \
+                switches * self.reconfigure_penalty
         return SimResult(
             machine="fgstp-adaptive",
             config=self.base.name,
@@ -194,7 +221,8 @@ class AdaptiveFgStpMachine:
         return shim
 
     def _run_region(self, region_trace, region_warmup, workload,
-                    offset: int = 0):
+                    offset: int = 0, cycle_offset: int = 0,
+                    previous_mode: Optional[str] = None):
         window = self.watchdog_window
         sample_end = min(len(region_trace),
                          region_warmup + self.sample_instructions)
@@ -207,19 +235,31 @@ class AdaptiveFgStpMachine:
             sample, workload=workload, warmup=region_warmup)
         # Only the winning mode's full-region run retires the region
         # architecturally; the sample runs above model performance
-        # counters and stay invisible to the commit hook.
+        # counters and stay invisible to the commit hook (and to the
+        # tracer — they model performance counters, not retirement).
         hook = self._region_hook(offset)
-        if fgstp_sample.cycles <= single_sample.cycles:
-            mode = "fgstp"
+        mode = ("fgstp" if fgstp_sample.cycles <= single_sample.cycles
+                else "single")
+        tracer = self.tracer
+        if tracer is not None:
+            if previous_mode is not None and mode != previous_mode:
+                # The switch penalty occupies the global timeline before
+                # the region's first cycle (matching run()'s accounting
+                # of cycles += reconfigure_penalty for this region).
+                tracer.instant("reconfig", cycle_offset,
+                               detail=f"{previous_mode}->{mode}",
+                               dur=self.reconfigure_penalty)
+                cycle_offset += self.reconfigure_penalty
+            tracer.begin_epoch(cycle_offset, offset)
+        if mode == "fgstp":
             result = FgStpMachine(
                 self.base, self.fgstp, watchdog_window=window,
-                commit_hook=hook).run(
+                commit_hook=hook, tracer=tracer).run(
                 region_trace, workload=workload, warmup=region_warmup)
         else:
-            mode = "single"
             result = SingleCoreMachine(
                 self.base, watchdog_window=window,
-                commit_hook=hook).run(
+                commit_hook=hook, tracer=tracer).run(
                 region_trace, workload=workload, warmup=region_warmup)
         return mode, result
 

@@ -29,6 +29,12 @@ class InterCoreQueue:
         name: Label for stats (``"q0to1"`` / ``"q1to0"``).
     """
 
+    #: Optional pipeline tracer (set by the orchestrator when tracing;
+    #: class-level None keeps untraced sends/deliveries branch-free).
+    tracer = None
+    #: Source-core id for trace events (-1 = unknown / untraced).
+    trace_core = -1
+
     def __init__(self, latency: int, bandwidth: int, name: str = "queue"):
         if latency < 1:
             raise ValueError(f"queue latency must be >= 1: {latency}")
@@ -47,6 +53,10 @@ class InterCoreQueue:
         """Enqueue *tag*'s value, produced at *cycle*."""
         self._fifo.append((cycle + self.latency, tag))
         self.sends += 1
+        if self.tracer is not None:
+            self.tracer.instant("intercore.send", cycle,
+                                core=self.trace_core,
+                                detail=f"{self.name}:{tag.label}")
 
     def deliver(self, cycle: int) -> List[Uop]:
         """Deliver due entries (FIFO, bandwidth-limited) at *cycle*.
@@ -65,6 +75,12 @@ class InterCoreQueue:
             fifo.popleft()
             delivered += 1
             self.deliveries += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "intercore.recv", cycle,
+                    core=(1 - self.trace_core if self.trace_core >= 0
+                          else -1),
+                    detail=f"{self.name}:{tag.label}")
             if eligible < cycle:
                 # Entry waited past its latency: bandwidth contention.
                 self.contention_cycles += cycle - eligible

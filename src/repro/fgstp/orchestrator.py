@@ -83,6 +83,14 @@ class FgStpMachine:
             once per *architectural* retirement, in global sequence
             order — for a replicated instruction it fires when the last
             replica clears the commit gate.  ``None`` costs nothing.
+        tracer: Optional :class:`~repro.obs.tracer.PipelineTracer`.
+            Records every retired uop (replicas included, each tagged
+            with its core), squash/steal/watchdog instants, and — via
+            the value queues — inter-core send/recv events.  Same
+            zero-cost contract as ``commit_hook``.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            both cache hierarchies register into; reset after warm-up,
+            filled with run statistics at the end.
     """
 
     def __init__(self, base: CoreParams,
@@ -90,9 +98,11 @@ class FgStpMachine:
                  max_cycles: int = 200_000_000,
                  policy: Optional[str] = None,
                  watchdog_window: Optional[int] = None,
-                 commit_hook=None):
+                 commit_hook=None, tracer=None, metrics=None):
         self.base = base
         self.commit_hook = commit_hook
+        self.tracer = tracer
+        self.metrics = metrics
         self.fgstp = fgstp or FgStpParams()
         self.max_cycles = max_cycles
         self.policy_name = policy or "chain"
@@ -122,6 +132,13 @@ class FgStpMachine:
             InterCoreQueue(self.fgstp.queue_latency,
                            self.fgstp.queue_bandwidth, name="q1to0"),
         )
+        if tracer is not None:
+            for src_core, queue in enumerate(self.queues):
+                queue.tracer = tracer
+                queue.trace_core = src_core
+        if metrics is not None:
+            for hierarchy in self.hierarchies:
+                metrics.attach(hierarchy)
 
         # Dynamic state (reset per run).
         self._trace: Sequence[TraceRecord] = ()
@@ -180,14 +197,23 @@ class FgStpMachine:
                        line_bytes=self.base.l1i.line_bytes)
             warm_state(prefix, self.hierarchies[1], None,
                        line_bytes=self.base.l1i.line_bytes)
+            if self.metrics is not None:
+                # One reset covers registry metrics and both attached
+                # hierarchies — warm-up never leaks into measurements.
+                self.metrics.reset()
         self._trace = trace
         total = len(trace)
         cycle = 0
         watchdog = self.watchdog
         watchdog.reset()
         self._recent_commits.clear()
+        tracer = self.tracer
         while self._global_next < total:
             if cycle > self.max_cycles:
+                if tracer is not None:
+                    tracer.instant("watchdog", cycle,
+                                   detail=f"max_cycles {self.max_cycles} "
+                                          f"exceeded")
                 raise SimulationLimit(
                     f"fgstp: exceeded {self.max_cycles} cycles with "
                     f"{self._global_next}/{total} committed "
@@ -199,6 +225,11 @@ class FgStpMachine:
                     snapshot=self.failure_snapshot(cycle))
             if watchdog.expired(cycle, self._global_next):
                 busy = any(core.busy() for core in self.cores)
+                if tracer is not None:
+                    tracer.instant("watchdog", cycle,
+                                   detail=f"no commit for "
+                                          f"{watchdog.stalled_for(cycle)} "
+                                          f"cycles")
                 raise SimulationHang(
                     f"fgstp: no commit for {watchdog.stalled_for(cycle)} "
                     f"cycles at cycle {cycle} with "
@@ -293,6 +324,10 @@ class FgStpMachine:
         return uop.seq == self._global_next
 
     def _on_commit(self, uop: Uop, cycle: int) -> None:
+        if self.tracer is not None:
+            # Every retired uop (replicas included), so the event stream
+            # reconciles with the per-core retire-slot ledger.
+            self.tracer.commit(uop, cycle)
         self._recent_commits.append(uop)
         seq = uop.seq
         count = self._copies.get(seq, 1) - 1
@@ -369,8 +404,15 @@ class FgStpMachine:
             self.partitioner.learn_pair(victim.record.pc, store_pc,
                                         weight=4)
         self.squashes += 1
+        squashed = 0
         for core in self.cores:
-            self.squashed_uops += core.squash_from(squash_seq)
+            squashed += core.squash_from(squash_seq)
+        self.squashed_uops += squashed
+        if self.tracer is not None:
+            self.tracer.instant(
+                "squash", now, seq=squash_seq, core=victim.core_id,
+                detail=f"{squashed} uops from seq {squash_seq} "
+                       f"(memory-dependence violation)")
         self.partitioner.rewind(squash_seq)
         for feed in self._feed:
             while feed and feed[-1][1].seq >= squash_seq:
@@ -483,8 +525,15 @@ class FgStpMachine:
         assignments = self.partitioner.partition(
             batch, committed_seq=self._global_next)
         available_at = now + self.fgstp.partition_latency
+        tracer = self.tracer
         for record, assignment in zip(batch, assignments):
             uops = self._make_uops(record, assignment)
+            if tracer is not None and assignment.stolen:
+                tracer.instant(
+                    "steal", now, seq=record.seq,
+                    core=assignment.cores[0],
+                    detail=f"balance override -> core "
+                           f"{assignment.cores[0]}")
             self._wire_dependences(record, assignment, uops, now)
             for uop in uops:
                 self._feed[uop.core_id].append((available_at, uop))
@@ -639,9 +688,34 @@ class FgStpMachine:
             "live_seqs": len(self._live),
             "pending_sends": len(self._send_map),
             "last_committed": [uop_brief(u) for u in self._recent_commits],
+            **({"trace_events": self.tracer.tail()}
+               if self.tracer is not None else {}),
         }
 
+    def _fill_metrics(self, cycles: int, total: int) -> None:
+        """Publish the run's statistics into the attached registry."""
+        metrics = self.metrics
+        metrics.gauge("sim.cycles").set(cycles)
+        metrics.gauge("sim.instructions").set(total)
+        metrics.gauge("sim.ipc").set(total / cycles if cycles else 0.0)
+        metrics.ingest("partition", self.partitioner.stats.as_dict())
+        for queue in self.queues:
+            metrics.ingest(f"queues.{queue.name}", queue.stats())
+        metrics.counter("squashes").value = self.squashes
+        metrics.counter("squashed_uops").value = self.squashed_uops
+        metrics.ingest("branch", {
+            "lookups": self.predictor.lookups,
+            "mispredictions": self.predictor.mispredictions,
+            "misprediction_rate": self.predictor.misprediction_rate,
+        })
+        for index, (core, hierarchy) in enumerate(
+                zip(self.cores, self.hierarchies)):
+            metrics.ingest(f"core{index}", core.stats.as_dict())
+            metrics.ingest(f"caches.core{index}", hierarchy.stats())
+
     def _result(self, workload: str, cycles: int, total: int) -> SimResult:
+        if self.metrics is not None:
+            self._fill_metrics(cycles, total)
         caches = {
             "core0": self.hierarchies[0].stats(),
             "core1": self.hierarchies[1].stats(),

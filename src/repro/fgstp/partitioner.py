@@ -70,6 +70,9 @@ class Assignment:
             orchestrator's per-(producer, core) tag map).
         mem_dep: For loads with a cross-core in-flight producer store:
             ``(store_seq, store_pc)``; ``None`` otherwise.
+        stolen: True when load balance overrode producer affinity (the
+            instruction was "stolen" by the lighter core; surfaced as a
+            trace event, never part of the result).
         replicated: Convenience flag (``len(cores) == 2``).
     """
 
@@ -77,6 +80,7 @@ class Assignment:
     cores: Tuple[int, ...]
     comm_srcs: List[Tuple[int, int]] = field(default_factory=list)
     mem_dep: Optional[Tuple[int, int]] = None
+    stolen: bool = False
 
     @property
     def replicated(self) -> bool:
@@ -140,6 +144,9 @@ class Partitioner:
         self._store_pc_core: Dict[int, int] = {}
         # Undo journal: (map_kind, seq, key, previous entry or None).
         self._journal: List[Tuple[str, int, int, Optional[WriterEntry]]] = []
+        # Batch offsets where balance overrode affinity (trace events
+        # only; cleared every partition() call).
+        self._last_steals: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Batch partitioning
@@ -160,6 +167,7 @@ class Partitioner:
         if not batch:
             return []
         self._committed_seq = committed_seq
+        self._last_steals.clear()
         cores = self._assign_pass(batch)
         replicated = self._replication_pass(batch, cores)
         return self._emit_pass(batch, cores, replicated)
@@ -199,7 +207,8 @@ class Partitioner:
                 return (next(iter(entry.cores)), entry.seq)
             return None
 
-        for record in batch:
+        steals = self._last_steals
+        for offset, record in enumerate(batch):
             seq = record.seq
             # Closest in-flight producer (register chain).
             closest: Optional[Tuple[int, int]] = None
@@ -239,8 +248,12 @@ class Partitioner:
                     # Distant producer: slack edge — balance decides
                     # unless the system is already even.
                     threshold = balance * 40.0
-                    core = (closest[0] if abs(imbalance) < threshold
-                            else lighter)
+                    if abs(imbalance) < threshold:
+                        core = closest[0]
+                    else:
+                        core = lighter
+                        if core != closest[0]:
+                            steals.add(offset)
                 else:
                     core = lighter
 
@@ -324,7 +337,8 @@ class Partitioner:
                 my_cores: Tuple[int, ...] = (0, 1)
             else:
                 my_cores = (cores[offset],)
-            assignment = Assignment(seq=seq, cores=my_cores)
+            assignment = Assignment(seq=seq, cores=my_cores,
+                                    stolen=offset in self._last_steals)
 
             # Source communication needs (committed values are visible
             # everywhere and never cross the fabric).

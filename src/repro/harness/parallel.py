@@ -74,6 +74,12 @@ class SweepJob:
             tuple (kept hashable/picklable).
         oracle: Run under the commit-stream oracle (every retirement
             checked against the trace; divergences fail the job).
+        trace: Run with a sampled :class:`~repro.obs.tracer.
+            PipelineTracer` attached; the event dump lands under
+            ``<cache_dir>/traces/`` and the result carries an
+            ``extra["pipetrace"]`` block.  Timing is unaffected (traced
+            runs are bit-identical), but the extra block earns the job
+            a distinct cache key.
     """
 
     machine: str
@@ -83,11 +89,13 @@ class SweepJob:
     fgstp: Optional[FgStpParams] = None
     overrides: Tuple[Tuple[str, Any], ...] = ()
     oracle: bool = False
+    trace: bool = False
 
     @property
     def name(self) -> str:
         """Short human-readable label for progress lines."""
-        suffix = "/oracle" if self.oracle else ""
+        suffix = ("/oracle" if self.oracle else "") \
+            + ("/trace" if self.trace else "")
         return (f"{self.machine}/{self.benchmark}"
                 f"/{self.base.name}/s{self.config.seed}{suffix}")
 
@@ -108,6 +116,10 @@ class SweepJob:
             # their keys (an oracle-checked result also carries an
             # ``extra["oracle"]`` block plain runs lack).
             parts.append("oracle")
+        if self.trace:
+            # Same reasoning: traced results carry ``extra["pipetrace"]``
+            # so they must not be served to (or from) plain runs.
+            parts.append("trace")
         blob = "|".join(parts)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
@@ -116,12 +128,13 @@ def make_job(machine: str, benchmark: str, base: CoreParams,
              config: ExperimentConfig,
              fgstp: Optional[FgStpParams] = None,
              oracle: bool = False,
+             trace: bool = False,
              **overrides) -> SweepJob:
     """Build a :class:`SweepJob` from ``run_machine``-style arguments."""
     return SweepJob(machine=machine, benchmark=benchmark, base=base,
                     config=config, fgstp=fgstp,
                     overrides=tuple(sorted(overrides.items())),
-                    oracle=oracle)
+                    oracle=oracle, trace=trace)
 
 
 def matrix_jobs(benchmarks: Sequence[str], seeds: Sequence[int],
@@ -153,12 +166,25 @@ def matrix_jobs(benchmarks: Sequence[str], seeds: Sequence[int],
 #: the serial path installs the engine's cache around each run.
 _PROCESS_CACHE: TraceCache = TraceCache()
 
+#: Where traced jobs dump their pipeline-event files in this process
+#: (``<cache_dir>/traces/``); ``None`` keeps events in-memory only.
+_PROCESS_TRACE_DIR: Optional[Path] = None
+
+#: Ring capacity and sampling shape of sweep-attached tracers.  Sweeps
+#: trade completeness for bounded files: one window in every
+#: :data:`TRACE_SAMPLE_PERIOD` is recorded (rare instants always are).
+TRACE_RING_CAPACITY = 65536
+TRACE_SAMPLE_WINDOW = 2048
+TRACE_SAMPLE_PERIOD = 4
+
 
 def _init_worker(cache_dir: Optional[str]) -> None:
     """Pool initializer: give each worker a disk-backed trace cache."""
-    global _PROCESS_CACHE
+    global _PROCESS_CACHE, _PROCESS_TRACE_DIR
     _PROCESS_CACHE = (DiskTraceCache(cache_dir) if cache_dir
                       else TraceCache())
+    _PROCESS_TRACE_DIR = (Path(cache_dir) / "traces" if cache_dir
+                          else None)
     # Workers must not intercept Ctrl-C; the parent handles shutdown.
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -166,20 +192,59 @@ def _init_worker(cache_dir: Optional[str]) -> None:
         pass
 
 
+def _attach_pipetrace(job: SweepJob, overrides: Dict[str, Any]):
+    """Build the sampled tracer a traced job runs under."""
+    from ..obs.tracer import PipelineTracer
+
+    tracer = PipelineTracer(capacity=TRACE_RING_CAPACITY,
+                            sample_window=TRACE_SAMPLE_WINDOW,
+                            sample_period=TRACE_SAMPLE_PERIOD)
+    overrides["tracer"] = tracer
+    return tracer
+
+
+def _finish_pipetrace(job: SweepJob, result: SimResult,
+                      tracer) -> SimResult:
+    """Dump the traced job's events and annotate its result."""
+    from ..obs.export import write_chrome_trace
+
+    dump = ""
+    if _PROCESS_TRACE_DIR is not None:
+        path = _PROCESS_TRACE_DIR / f"{job.key()}.pipetrace.json"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            write_chrome_trace({job.machine: tracer.events()}, path)
+            dump = str(path)
+        except OSError:
+            pass  # a full disk must not fail the job itself
+    result.extra["pipetrace"] = {
+        "events": len(tracer.events()),
+        "dropped": tracer.dropped,
+        "dump": dump,
+    }
+    return result
+
+
 def execute_job(job: SweepJob) -> SimResult:
     """Run one job against the process-local trace cache."""
+    overrides = dict(job.overrides)
+    tracer = _attach_pipetrace(job, overrides) if job.trace else None
     if job.oracle:
         from ..oracle.attach import run_trace_under_oracle
 
         trace = _PROCESS_CACHE.get(job.benchmark, job.config.trace_length,
                                    job.config.seed)
-        return run_trace_under_oracle(
+        result = run_trace_under_oracle(
             job.machine, trace, job.base, fgstp=job.fgstp,
             workload=job.benchmark, warmup=job.config.warmup,
-            **dict(job.overrides))
-    return run_machine(job.machine, job.benchmark, job.base, job.config,
-                       fgstp=job.fgstp, cache=_PROCESS_CACHE,
-                       **dict(job.overrides))
+            **overrides)
+    else:
+        result = run_machine(job.machine, job.benchmark, job.base,
+                             job.config, fgstp=job.fgstp,
+                             cache=_PROCESS_CACHE, **overrides)
+    if tracer is not None:
+        result = _finish_pipetrace(job, result, tracer)
+    return result
 
 
 class JobTimeout(Exception):
@@ -410,6 +475,12 @@ class ExperimentEngine:
             commit-stream oracle.  Selection is a deterministic hash of
             each job's content key, so re-running the same sweep checks
             the same jobs.  Sampled jobs carry a distinct cache key.
+        trace_sample: Fraction of jobs (0..1) to run with a sampled
+            pipeline tracer attached (event dumps land under
+            ``<cache_dir>/traces/``).  Selection hashes the job key
+            with a salt distinct from the oracle draw, so the two
+            samples are independent; sampled jobs carry a distinct
+            cache key.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
@@ -420,7 +491,8 @@ class ExperimentEngine:
                  result_cache: bool = True,
                  trace_cache: Optional[TraceCache] = None,
                  progress: Optional[ProgressFn] = None,
-                 oracle_sample: float = 0.0):
+                 oracle_sample: float = 0.0,
+                 trace_sample: float = 0.0):
         self.max_workers = max(1, int(max_workers or 1))
         self.timeout = timeout
         self.retries = max(0, int(retries))
@@ -430,6 +502,7 @@ class ExperimentEngine:
         self.trace_cache = trace_cache
         self.progress = progress
         self.oracle_sample = min(1.0, max(0.0, float(oracle_sample)))
+        self.trace_sample = min(1.0, max(0.0, float(trace_sample)))
 
     # -- public API ----------------------------------------------------
 
@@ -441,7 +514,8 @@ class ExperimentEngine:
         Permanent failures never raise — they are reported in
         ``outcome.failures`` so one poisoned job cannot sink a sweep.
         """
-        jobs = [self._maybe_oracle(job) for job in jobs]
+        jobs = [self._maybe_trace(self._maybe_oracle(job))
+                for job in jobs]
         started = time.monotonic()
         metrics = SweepMetrics(jobs_total=len(jobs),
                                workers=self.max_workers)
@@ -513,14 +587,34 @@ class ExperimentEngine:
             return dataclasses.replace(job, oracle=True)
         return job
 
+    def _maybe_trace(self, job: SweepJob) -> SweepJob:
+        """Promote *job* to traced when it falls in the trace sample.
+
+        Salted so the draw decorrelates from the oracle draw (else the
+        same low-hash jobs would soak up every kind of sampling).  The
+        draw hashes the job's current key — including any oracle
+        promotion, itself deterministic — so it is stable across runs
+        and independent of job order.
+        """
+        if not self.trace_sample or job.trace:
+            return job
+        salted = hashlib.sha256(
+            (job.key() + "|pipetrace").encode("utf-8")).hexdigest()
+        if int(salted, 16) % 10_000 < self.trace_sample * 10_000:
+            return dataclasses.replace(job, trace=True)
+        return job
+
     # -- serial path ---------------------------------------------------
 
     def _run_serial(self, jobs: Sequence[SweepJob], pending: Sequence[int],
                     job_fn: Callable[[SweepJob], SimResult],
                     outcome: SweepOutcome) -> None:
-        global _PROCESS_CACHE
+        global _PROCESS_CACHE, _PROCESS_TRACE_DIR
         saved = _PROCESS_CACHE
+        saved_trace_dir = _PROCESS_TRACE_DIR
         _PROCESS_CACHE = self._serial_cache()
+        _PROCESS_TRACE_DIR = (self.cache_dir / "traces"
+                              if self.cache_dir else None)
         try:
             for index in pending:
                 if outcome.results[index] is not None:
@@ -546,6 +640,7 @@ class ExperimentEngine:
                             self._fail(outcome, index, kind, attempt, exc)
         finally:
             _PROCESS_CACHE = saved
+            _PROCESS_TRACE_DIR = saved_trace_dir
 
     def _serial_cache(self) -> TraceCache:
         if self.trace_cache is not None:
@@ -756,6 +851,8 @@ class ExperimentEngine:
         }
         if job.oracle:
             context["oracle"] = True
+        if job.trace:
+            context["trace"] = True
         chaos = os.environ.get(ENV_CHAOS)
         if chaos:
             context["chaos"] = chaos

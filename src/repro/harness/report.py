@@ -140,6 +140,108 @@ def cpistack_comparison(stacks: Mapping[str, CPIStack],
                         title=title)
 
 
+# ----------------------------------------------------------------------
+# Observability renderers (see docs/observability.md)
+# ----------------------------------------------------------------------
+
+#: Stage marker characters of the ASCII timeline, in pipeline order.
+_STAGE_MARKS = ((0, "F"), (1, "D"), (2, "I"), (3, "C"), (4, "R"))
+
+
+def timeline_text(events, count: int = 24, width: int = 72,
+                  title: Optional[str] = None) -> str:
+    """ASCII per-uop timeline of the last *count* lifecycle events.
+
+    One row per retired uop: ``F``etch, ``D``ispatch, ``I``ssue,
+    ``C``omplete and ``R``etire markers on a shared, scaled cycle axis
+    (later markers overwrite earlier ones in a shared column).
+    """
+    from ..obs.events import UOP
+
+    uops = [event for event in events
+            if event.kind == UOP and event.stages is not None][-count:]
+    lines: List[str] = [title or "pipeline timeline"]
+    if not uops:
+        lines.append("  (no lifecycle events recorded)")
+        return "\n".join(lines)
+    origin = min(min((c for c in event.stages if c >= 0),
+                     default=event.cycle) for event in uops)
+    span = max(event.cycle for event in uops) - origin + 1
+    scale = max(1, -(-span // width))
+    columns = -(-span // scale)
+    lines.append(f"  cycles {origin}..{origin + span - 1} "
+                 f"({scale} cycle(s)/column; "
+                 f"F=fetch D=dispatch I=issue C=complete R=retire)")
+    for event in uops:
+        row = ["."] * columns
+        for position, mark in _STAGE_MARKS:
+            when = event.stages[position]
+            if when >= 0:
+                row[(when - origin) // scale] = mark
+        replica = "*" if event.replica else " "
+        lines.append(f"  seq={event.seq:<7d} c{event.core}{replica} "
+                     f"{event.op:<7s} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def occupancy_text(events, buckets: int = 24, width: int = 50,
+                   title: Optional[str] = None) -> str:
+    """ASCII commit-throughput histogram over the traced cycle range.
+
+    Retirements are bucketed by commit cycle; each bar is scaled to the
+    busiest bucket, exposing stall regions (empty bars) and bursts.
+    """
+    from ..obs.events import UOP
+
+    commits = [event.cycle for event in events if event.kind == UOP]
+    lines: List[str] = [title or "commit occupancy"]
+    if not commits:
+        lines.append("  (no lifecycle events recorded)")
+        return "\n".join(lines)
+    lo, hi = min(commits), max(commits)
+    span = hi - lo + 1
+    bucket_cycles = max(1, -(-span // buckets))
+    counts = [0] * (-(-span // bucket_cycles))
+    for cycle in commits:
+        counts[(cycle - lo) // bucket_cycles] += 1
+    peak = max(counts)
+    lines.append(f"  cycles {lo}..{hi}, {bucket_cycles} cycle(s)/bucket, "
+                 f"peak {peak} commit(s)")
+    for index, value in enumerate(counts):
+        bar = "#" * (round(width * value / peak) if peak else 0)
+        start = lo + index * bucket_cycles
+        lines.append(f"  {start:>9d} |{bar:<{width}s}| {value}")
+    return "\n".join(lines)
+
+
+def metrics_table(registry, title: Optional[str] = None,
+                  precision: int = 3) -> str:
+    """Render a :class:`~repro.obs.metrics.MetricsRegistry` as a table.
+
+    Counters and gauges print their value; histograms print
+    ``count/mean`` with the populated bucket counts alongside.
+    """
+    from ..obs.metrics import Histogram
+
+    rows: List[List[object]] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        if isinstance(metric, Histogram):
+            populated = [f"<={bound}:{count}" for bound, count in
+                         zip(metric.buckets, metric.counts) if count]
+            if metric.counts[-1]:
+                populated.append(f">{metric.buckets[-1]}:"
+                                 f"{metric.counts[-1]}")
+            rows.append([name, "histogram",
+                         f"n={metric.count} mean={metric.mean:.1f}",
+                         " ".join(populated)])
+        else:
+            rows.append([name, metric.kind, metric.value, ""])
+    return render_table(["metric", "type", "value", "detail"], rows,
+                        precision=precision,
+                        title=title or "metrics registry")
+
+
 def cpistacks_to_markdown(suites: Mapping[str, Mapping[str, SimResult]]
                           ) -> str:
     """Per-benchmark CPI-stack comparison tables, as markdown.

@@ -134,6 +134,11 @@ def apply_chaos(machine: Any, spec: ChaosSpec, strict: bool = True) -> Any:
         raise ChaosError(
             f"chaos kind {spec.kind!r} does not apply to "
             f"{type(machine).__name__}")
+    if applied:
+        tracer = getattr(machine, "tracer", None)
+        if tracer is not None:
+            # Injection happens at build time, before cycle 0.
+            tracer.instant("chaos", 0, detail=str(spec))
     return machine
 
 

@@ -164,6 +164,62 @@ def _render_mapping(mapping: Dict[str, Any], indent: str,
             lines.append(f"{indent}{key}: {value}")
 
 
+#: Columns of the crash-dump mini-timeline.
+_TIMELINE_WIDTH = 48
+
+#: Stage marker characters in pipeline order.
+_STAGE_MARKS = (("fetch", "F"), ("dispatch", "D"), ("issue", "I"),
+                ("complete", "C"), ("commit", "R"))
+
+
+def render_trace_events(events: List[Dict[str, Any]],
+                        width: int = _TIMELINE_WIDTH) -> List[str]:
+    """Mini-timeline lines for a crash dump's embedded tracer tail.
+
+    Lifecycle events render as one row each (``F``etch, ``D``ispatch,
+    ``I``ssue, ``C``omplete, ``R``etire markers on a shared cycle
+    axis); instants render as one annotated line per event.
+    """
+    lines: List[str] = []
+    uops = [event for event in events
+            if event.get("kind") == "uop" and event.get("stages")]
+    if uops:
+        starts = []
+        for event in uops:
+            valid = [c for c in event["stages"].values() if c >= 0]
+            starts.append(min(valid) if valid else event["cycle"])
+        origin = min(starts)
+        span = max(event["cycle"] for event in uops) - origin + 1
+        scale = max(1, -(-span // width))
+        columns = -(-span // scale)
+        lines.append(f"  cycle axis: {origin}..{origin + span - 1} "
+                     f"({scale} cycle(s)/column)")
+        for event in uops:
+            row = ["."] * columns
+            for stage, mark in _STAGE_MARKS:
+                when = event["stages"].get(stage, -1)
+                if when is not None and when >= 0:
+                    row[(when - origin) // scale] = mark
+            label = (f"seq={event.get('seq', '?'):<6} "
+                     f"c{event.get('core', '?')} "
+                     f"{event.get('op', '?'):<6}")
+            replica = " (replica)" if event.get("replica") else ""
+            lines.append(f"  {label} |{''.join(row)}|{replica}")
+    for event in events:
+        if event.get("kind") == "uop":
+            continue
+        parts = [f"  [cycle {event.get('cycle', '?')}]",
+                 str(event.get("kind", "?"))]
+        if event.get("seq", -1) >= 0:
+            parts.append(f"seq={event['seq']}")
+        if event.get("core", -1) >= 0:
+            parts.append(f"core={event['core']}")
+        if event.get("detail"):
+            parts.append(str(event["detail"]))
+        lines.append(" ".join(parts))
+    return lines
+
+
 def render_crash_dump(dump: Dict[str, Any]) -> str:
     """Human-readable rendering of one loaded crash dump."""
     lines: List[str] = []
@@ -188,8 +244,15 @@ def render_crash_dump(dump: Dict[str, Any]) -> str:
         lines.append("partial statistics:")
         _render_mapping(partial, "  ", lines)
     snapshot = dump.get("snapshot") or {}
+    trace_events = None
     if snapshot:
+        snapshot = dict(snapshot)
+        trace_events = snapshot.pop("trace_events", None)
         lines.append("")
         lines.append("pipeline snapshot:")
         _render_mapping(snapshot, "  ", lines)
+    if trace_events:
+        lines.append("")
+        lines.append(f"recent pipeline events ({len(trace_events)}):")
+        lines.extend(render_trace_events(trace_events))
     return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Glue: run a machine with a tracer and/or metrics registry attached.
+
+Mirrors :mod:`repro.oracle.attach`: builds the machine through
+:func:`repro.harness.runners.build_machine` (so chaos injection and
+machine-specific overrides keep working) and leaves the
+:class:`~repro.stats.result.SimResult` untouched — observability rides
+alongside the result, never inside it, so traced runs stay bit-identical
+to untraced ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..fgstp.params import FgStpParams
+from ..stats.result import SimResult
+from ..trace.record import TraceRecord
+from ..uarch.params import CoreParams
+from .metrics import MetricsRegistry
+from .tracer import PipelineTracer
+
+
+def run_traced(machine: str, trace: Sequence[TraceRecord],
+               base: CoreParams,
+               fgstp: Optional[FgStpParams] = None,
+               workload: str = "trace", warmup: int = 0,
+               tracer: Optional[PipelineTracer] = None,
+               metrics: Optional[MetricsRegistry] = None,
+               **overrides) -> Tuple[SimResult, PipelineTracer]:
+    """Run *trace* on *machine* with a pipeline tracer attached.
+
+    Args:
+        machine: One of :data:`repro.harness.runners.MACHINES`.
+        tracer: Tracer to attach (a fresh full-capture one by default).
+        metrics: Optional registry the machine fills alongside.
+        **overrides: Extra machine constructor arguments.
+
+    Returns:
+        ``(result, tracer)`` — the result is exactly what an untraced
+        run produces.
+    """
+    from ..harness.runners import build_machine
+
+    if tracer is None:
+        tracer = PipelineTracer()
+    model = build_machine(machine, base, fgstp, tracer=tracer,
+                          metrics=metrics, **overrides)
+    result = model.run(trace, workload=workload, warmup=warmup)
+    return result, tracer
+
+
+def run_with_metrics(machine: str, trace: Sequence[TraceRecord],
+                     base: CoreParams,
+                     fgstp: Optional[FgStpParams] = None,
+                     workload: str = "trace", warmup: int = 0,
+                     registry: Optional[MetricsRegistry] = None,
+                     **overrides) -> Tuple[SimResult, MetricsRegistry]:
+    """Run *trace* on *machine* with a metrics registry attached."""
+    from ..harness.runners import build_machine
+
+    if registry is None:
+        registry = MetricsRegistry()
+    model = build_machine(machine, base, fgstp, metrics=registry,
+                          **overrides)
+    result = model.run(trace, workload=workload, warmup=warmup)
+    return result, registry
+
+
+__all__ = ["run_traced", "run_with_metrics"]

@@ -1,0 +1,107 @@
+"""Trace-event schema for the per-uop pipeline tracer.
+
+One :class:`TraceEvent` is either
+
+* a **lifecycle event** (``kind == UOP``): one entry per architecturally
+  retired uop carrying every stage timestamp the uop accumulated on its
+  way through the pipeline (fetch, dispatch, issue, complete, commit) —
+  recorded once at commit, when all of them are known; or
+* an **instant event**: a point-in-time occurrence outside the per-uop
+  lifecycle — squashes, inter-core queue traffic, partitioner steals,
+  adaptive reconfigurations, watchdog trips and chaos injections.
+
+Events are plain slotted objects (cheap to create on the hot path) with
+a JSON-able :meth:`TraceEvent.as_dict` view used by the exporters and by
+crash-dump embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+# Event kinds.
+UOP = "uop"                    #: per-uop lifecycle (recorded at commit)
+SQUASH = "squash"              #: pipeline flush from a given seq
+SEND = "intercore.send"        #: value enqueued on an inter-core queue
+RECV = "intercore.recv"        #: value delivered by an inter-core queue
+STEAL = "steal"                #: balance overrode affinity at partition
+RECONFIG = "reconfig"          #: adaptive machine switched modes
+WATCHDOG = "watchdog"          #: watchdog / cycle-limit trip
+CHAOS = "chaos"                #: fault injected by the chaos layer
+
+#: Instant kinds (everything that is not a lifecycle event).
+INSTANT_KINDS = (SQUASH, SEND, RECV, STEAL, RECONFIG, WATCHDOG, CHAOS)
+
+#: Stage names matching the ``stages`` tuple positions of a UOP event.
+STAGE_NAMES = ("fetch", "dispatch", "issue", "complete", "commit")
+
+
+class TraceEvent:
+    """One recorded pipeline event (see module docstring).
+
+    Attributes:
+        kind: One of the kind constants above.
+        cycle: Cycle the event fired (commit cycle for UOP events),
+            already shifted into the machine-global clock by the
+            tracer's epoch offset.
+        seq: Dynamic sequence number (``-1`` when not applicable).
+        uid: Uop uid (``-1`` for instants).
+        core: Core id (``-1`` when not core-specific).
+        pc: Static PC (``-1`` for instants).
+        op: Op-class name (``""`` for instants).
+        replica: True for the replicated copies an Fg-STP assignment
+            creates (both retire; one architectural instruction).
+        stages: ``(fetch, dispatch, issue, complete, commit)`` cycles
+            for UOP events, ``None`` for instants.
+        detail: Free-form annotation (instants).
+        dur: Duration in cycles for instants that span time (e.g. a
+            reconfiguration penalty); 0 for true points.
+    """
+
+    __slots__ = ("kind", "cycle", "seq", "uid", "core", "pc", "op",
+                 "replica", "stages", "detail", "dur")
+
+    def __init__(self, kind: str, cycle: int, seq: int = -1,
+                 uid: int = -1, core: int = -1, pc: int = -1,
+                 op: str = "", replica: bool = False,
+                 stages: Optional[Tuple[int, int, int, int, int]] = None,
+                 detail: str = "", dur: int = 0):
+        self.kind = kind
+        self.cycle = cycle
+        self.seq = seq
+        self.uid = uid
+        self.core = core
+        self.pc = pc
+        self.op = op
+        self.replica = replica
+        self.stages = stages
+        self.detail = detail
+        self.dur = dur
+
+    def as_dict(self) -> dict:
+        """Compact JSON-able view (omits inapplicable fields)."""
+        payload = {"kind": self.kind, "cycle": self.cycle}
+        if self.seq >= 0:
+            payload["seq"] = self.seq
+        if self.uid >= 0:
+            payload["uid"] = self.uid
+        if self.core >= 0:
+            payload["core"] = self.core
+        if self.pc >= 0:
+            payload["pc"] = self.pc
+        if self.op:
+            payload["op"] = self.op
+        if self.replica:
+            payload["replica"] = True
+        if self.stages is not None:
+            payload["stages"] = dict(zip(STAGE_NAMES, self.stages))
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.dur:
+            payload["dur"] = self.dur
+        return payload
+
+    def __repr__(self) -> str:
+        core = f" c{self.core}" if self.core >= 0 else ""
+        seq = f" seq={self.seq}" if self.seq >= 0 else ""
+        return f"<TraceEvent {self.kind}@{self.cycle}{core}{seq}>"

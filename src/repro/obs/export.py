@@ -1,0 +1,179 @@
+"""Exporters: Chrome trace-event JSON (Perfetto), Konata logs, JSONL.
+
+* :func:`chrome_trace` emits the Trace Event Format understood by
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: each
+  machine is a process, each core a group of lanes (threads), each
+  retired uop a chain of complete ("X") spans — fetch, dispatch,
+  execute, commit-wait — and each instant event an "i" marker.  One
+  simulated cycle maps to one microsecond of trace time.
+* :func:`konata_log` emits a Konata-style pipeline log
+  (https://github.com/shioyadan/Konata): ``I``/``L`` declare
+  instructions, ``S``/``E`` move them between stages, ``R`` retires
+  them, with ``C`` lines advancing the clock.
+* :func:`events_jsonl` is the machine-readable fallback: one event dict
+  per line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from .events import UOP, TraceEvent
+
+#: Lanes reserved per core in the Chrome export's thread-id space.
+_LANES_PER_CORE = 64
+
+
+def _lane_allocate(events: Sequence[TraceEvent]) -> Dict[int, int]:
+    """Greedy per-core lane assignment so overlapping uop spans never
+    share a Chrome thread row.  Returns ``uid -> lane``."""
+    lanes: Dict[int, int] = {}
+    # Per (core, lane): cycle the lane frees up.
+    busy_until: Dict[tuple, int] = {}
+    for event in events:
+        if event.kind != UOP or event.stages is None:
+            continue
+        start = _span_start(event)
+        end = event.cycle
+        lane = 0
+        while busy_until.get((event.core, lane), -1) > start \
+                and lane < _LANES_PER_CORE - 1:
+            lane += 1
+        busy_until[(event.core, lane)] = end
+        lanes[event.uid] = lane
+    return lanes
+
+
+def _span_start(event: TraceEvent) -> int:
+    """First valid stage cycle of a lifecycle event."""
+    for stage_cycle in event.stages:
+        if stage_cycle >= 0:
+            return stage_cycle
+    return event.cycle
+
+
+def chrome_trace(machine_events: Mapping[str, Sequence[TraceEvent]]
+                 ) -> dict:
+    """Build one Chrome trace-event JSON document from per-machine
+    event lists (``machine name -> events``)."""
+    trace_events: List[dict] = []
+    for pid, (machine, events) in enumerate(machine_events.items()):
+        trace_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": machine},
+        })
+        lanes = _lane_allocate(events)
+        named_threads = set()
+        for event in events:
+            if event.kind == UOP and event.stages is not None:
+                tid = 1 + event.core * _LANES_PER_CORE \
+                    + lanes.get(event.uid, 0)
+                if tid not in named_threads:
+                    named_threads.add(tid)
+                    trace_events.append({
+                        "name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid,
+                        "args": {"name": f"core{event.core} "
+                                         f"lane{lanes.get(event.uid, 0)}"},
+                    })
+                trace_events.extend(_uop_spans(event, pid, tid))
+            else:
+                trace_events.append({
+                    "name": event.kind, "ph": "i", "s": "p",
+                    "pid": pid, "tid": 0, "ts": event.cycle,
+                    "args": {key: value for key, value in
+                             event.as_dict().items()
+                             if key not in ("kind", "cycle")},
+                })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro obs",
+            "time_unit": "1us == 1 simulated cycle",
+        },
+    }
+
+
+def _uop_spans(event: TraceEvent, pid: int, tid: int) -> List[dict]:
+    """The per-stage complete spans of one retired uop."""
+    fetch, dispatch, issue, complete, commit = event.stages
+    label = f"{event.op} seq={event.seq}"
+    args = {"seq": event.seq, "uid": event.uid, "pc": event.pc,
+            "op": event.op, "core": event.core}
+    if event.replica:
+        args["replica"] = True
+    spans = []
+    stage_edges = [
+        ("fetch", fetch, dispatch),
+        ("dispatch", dispatch, issue),
+        ("execute", issue, complete),
+        ("commit-wait", complete, commit),
+    ]
+    for stage, start, end in stage_edges:
+        if start < 0:
+            continue
+        if end < 0 or end < start:
+            end = start
+        spans.append({
+            "name": f"{label} [{stage}]", "cat": stage, "ph": "X",
+            "pid": pid, "tid": tid, "ts": start,
+            "dur": max(end - start, 1), "args": args,
+        })
+    return spans
+
+
+def konata_log(events: Iterable[TraceEvent]) -> str:
+    """Render one machine's lifecycle events as a Konata pipeline log.
+
+    Only UOP events appear (Konata is a per-instruction viewer); lanes
+    encode the core id so a two-core Fg-STP run shows both streams.
+    """
+    uops = sorted(
+        (event for event in events
+         if event.kind == UOP and event.stages is not None),
+        key=_span_start)
+    actions: List[tuple] = []  # (cycle, order, line)
+    for kid, event in enumerate(uops):
+        fetch, dispatch, issue, complete, commit = event.stages
+        fetch = fetch if fetch >= 0 else _span_start(event)
+        label = (f"{event.op} seq={event.seq} pc={event.pc:#x} "
+                 f"core={event.core}{' replica' if event.replica else ''}")
+        actions.append((fetch, 0, f"I\t{kid}\t{event.uid}\t{event.core}"))
+        actions.append((fetch, 1, f"L\t{kid}\t0\t{label}"))
+        actions.append((fetch, 2, f"S\t{kid}\t0\tF"))
+        stage_edges = [(dispatch, "D"), (issue, "X"), (complete, "C")]
+        for when, stage in stage_edges:
+            if when >= 0:
+                actions.append((when, 3, f"S\t{kid}\t0\t{stage}"))
+        actions.append((commit, 4, f"R\t{kid}\t{event.seq}\t0"))
+    actions.sort(key=lambda action: (action[0], action[1]))
+    lines = ["Kanata\t0004"]
+    clock = None
+    for cycle, _order, line in actions:
+        if clock is None:
+            lines.append(f"C=\t{cycle}")
+            clock = cycle
+        elif cycle > clock:
+            lines.append(f"C\t{cycle - clock}")
+            clock = cycle
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def events_jsonl(events: Iterable[TraceEvent]) -> Iterator[str]:
+    """One compact JSON document per event, in recording order."""
+    for event in events:
+        yield json.dumps(event.as_dict(), sort_keys=True)
+
+
+def write_chrome_trace(machine_events: Mapping[str, Sequence[TraceEvent]],
+                       path) -> None:
+    """Serialise :func:`chrome_trace` output to *path*."""
+    with open(path, "w") as stream:
+        json.dump(chrome_trace(machine_events), stream)
+
+
+__all__ = ["chrome_trace", "konata_log", "events_jsonl",
+           "write_chrome_trace"]

@@ -1,0 +1,242 @@
+"""Unified metrics registry: counters, gauges and histograms.
+
+The repo's statistics today live in ad-hoc per-component dicts
+(``CoreStats.as_dict()``, ``CacheHierarchy.stats()``, queue stats, ...)
+each with its own reset story — the exact shape that produced the PR 2
+warm-up leak (MSHR/prefetcher counters surviving ``reset_stats``).  The
+:class:`MetricsRegistry` gives every machine one sink with one
+``reset()``:
+
+* components *register into* it (``counter`` / ``gauge`` /
+  ``histogram`` are get-or-create, so two sites naming the same metric
+  share it);
+* legacy components with their own ``reset_stats()`` are *attached*
+  (:meth:`MetricsRegistry.attach`), so the registry's single ``reset()``
+  covers them too — this is how the warm-up path clears everything in
+  one call;
+* finished runs *ingest* their existing stats dicts
+  (:meth:`MetricsRegistry.ingest` flattens nested mappings into
+  dotted names), replacing the ad-hoc shapes incrementally without a
+  flag-day rewrite.
+
+All metric types are JSON-able via ``as_dict`` and render through
+``harness.report.metrics_table``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (cycles-ish scale).
+DEFAULT_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                    512, 1024, 4096, 16384)
+
+
+class Counter:
+    """Monotonic counter (reset to zero between measurements)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. final cycle count, an IPC)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram (bucket bounds are upper-inclusive).
+
+    ``counts`` has ``len(buckets) + 1`` entries; the last one is the
+    overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 buckets: Sequence[int] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError(
+                f"buckets must be strictly increasing: {buckets!r}")
+        self.name = name
+        self.buckets: Tuple[int, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        # First bucket whose upper bound is >= value; overflow past all.
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def as_dict(self) -> dict:
+        return {"type": "histogram", "count": self.count,
+                "sum": self.total, "mean": self.mean,
+                "buckets": list(self.buckets),
+                "counts": list(self.counts)}
+
+
+class MetricsRegistry:
+    """One named sink for every metric a run produces.
+
+    Metric accessors are get-or-create; asking for an existing name
+    with a different type raises ``TypeError`` (two components silently
+    sharing a name across types is always a bug).
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Any] = {}
+        self._attached: List[Any] = []
+
+    # -- get-or-create accessors ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[int] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, buckets)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{metric.kind}, not histogram")
+        return metric
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{metric.kind}, not {cls.kind}")
+        return metric
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- external components -------------------------------------------
+
+    def attach(self, component: Any) -> None:
+        """Register a legacy component whose ``reset_stats()`` must be
+        covered by this registry's :meth:`reset` (e.g. a
+        :class:`~repro.uarch.cache.hierarchy.CacheHierarchy`)."""
+        if not hasattr(component, "reset_stats"):
+            raise TypeError(
+                f"{type(component).__name__} has no reset_stats()")
+        if not any(component is seen for seen in self._attached):
+            self._attached.append(component)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every metric and reset every attached component.
+
+        This is the single warm-up reset point: machines call it after
+        functional warm-up so measurements start from a clean slate (the
+        same leak class ``CacheHierarchy.reset_stats`` fixed for
+        MSHR/prefetcher counters).
+        """
+        for metric in self._metrics.values():
+            metric.reset()
+        for component in self._attached:
+            component.reset_stats()
+
+    # -- bulk fill from legacy stats dicts -----------------------------
+
+    def ingest(self, prefix: str, stats: Mapping[str, Any]) -> None:
+        """Flatten a nested stats mapping into dotted-name metrics.
+
+        Integers and booleans become counters, floats become gauges,
+        nested mappings recurse; other value types are skipped (the
+        legacy dicts keep carrying them).
+        """
+        for key, value in stats.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, Mapping):
+                self.ingest(name, value)
+            elif isinstance(value, bool):
+                counter = self.counter(name)
+                counter.value = int(value)
+            elif isinstance(value, int):
+                counter = self.counter(name)
+                counter.value = value
+            elif isinstance(value, float):
+                self.gauge(name).set(value)
+
+    # -- export ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, dict]:
+        """``name -> metric dict``, sorted by name (JSON-able)."""
+        return {name: self._metrics[name].as_dict()
+                for name in sorted(self._metrics)}
+
+    def collect(self) -> Dict[str, float]:
+        """``name -> scalar`` (histograms contribute their mean)."""
+        flat: Dict[str, float] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            flat[name] = (metric.mean if isinstance(metric, Histogram)
+                          else metric.value)
+        return flat
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]

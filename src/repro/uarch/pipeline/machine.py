@@ -47,6 +47,16 @@ class SingleCoreMachine:
             for every architecturally retired uop, in retirement order.
             ``None`` (the default) costs nothing on the hot path; the
             commit-stream oracle (:mod:`repro.oracle`) attaches here.
+        tracer: Optional :class:`~repro.obs.tracer.PipelineTracer`
+            recording per-uop lifecycle and watchdog events.  Same
+            zero-cost contract as ``commit_hook``: ``None`` adds no
+            per-cycle work and an attached tracer never changes the
+            :class:`SimResult`.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            the machine registers its cache hierarchy into and fills
+            with run statistics; its single ``reset()`` is invoked
+            after functional warm-up so metrics never leak warm-up
+            counts.
     """
 
     def __init__(self, params: CoreParams,
@@ -56,12 +66,17 @@ class SingleCoreMachine:
                  machine_label: str = "single",
                  max_cycles: int = 200_000_000,
                  watchdog_window: Optional[int] = None,
-                 commit_hook: Optional[Callable[[Uop, int], None]] = None):
+                 commit_hook: Optional[Callable[[Uop, int], None]] = None,
+                 tracer=None, metrics=None):
         self.params = params
         self.commit_hook = commit_hook
+        self.tracer = tracer
+        self.metrics = metrics
         self.machine_label = machine_label
         self.max_cycles = max_cycles
         self.hierarchy = CacheHierarchy(params)
+        if metrics is not None:
+            metrics.attach(self.hierarchy)
         self.core = CycleCore(
             params, self.hierarchy, name=machine_label,
             num_clusters=num_clusters,
@@ -97,9 +112,14 @@ class SingleCoreMachine:
             prefix, trace = split_warmup(trace, warmup)
             warm_state(prefix, self.hierarchy, self.predictor,
                        line_bytes=self.params.l1i.line_bytes)
+            if self.metrics is not None:
+                # Warm-up must not leak into measured metrics — the one
+                # reset covers registry metrics AND attached components.
+                self.metrics.reset()
         fetch = SelfFetchUnit(self.core, trace, self.predictor,
                               line_bytes=self.params.l1i.line_bytes)
         core = self.core
+        tracer = self.tracer
         cycle = 0
         committed = 0
         total = len(trace)
@@ -108,6 +128,10 @@ class SingleCoreMachine:
         self._recent_commits.clear()
         while committed < total:
             if cycle > self.max_cycles:
+                if tracer is not None:
+                    tracer.instant("watchdog", cycle,
+                                   detail=f"max_cycles {self.max_cycles} "
+                                          f"exceeded")
                 raise SimulationLimit(
                     f"{self.machine_label}: exceeded {self.max_cycles} "
                     f"cycles with {committed}/{total} committed",
@@ -116,6 +140,11 @@ class SingleCoreMachine:
                     partial=self._partial_stats(cycle, committed),
                     snapshot=self.failure_snapshot(cycle, fetch))
             if watchdog.expired(cycle, committed):
+                if tracer is not None:
+                    tracer.instant("watchdog", cycle,
+                                   detail=f"no commit for "
+                                          f"{watchdog.stalled_for(cycle)} "
+                                          f"cycles")
                 raise SimulationHang(
                     f"{self.machine_label}: no commit for "
                     f"{watchdog.stalled_for(cycle)} cycles at cycle "
@@ -134,6 +163,8 @@ class SingleCoreMachine:
                 if self.commit_hook is not None:
                     for uop in retired_uops:
                         self.commit_hook(uop, cycle)
+                if tracer is not None:
+                    tracer.commits(retired_uops, cycle)
             core.phase_complete(cycle)
             core.phase_issue(cycle)
             core.phase_dispatch(cycle)
@@ -153,6 +184,8 @@ class SingleCoreMachine:
             machine=self.machine_label, cycles=cycle,
             instructions=committed, width=self.params.commit_width,
             slots=dict(core.stats.commit_slots)))
+        if self.metrics is not None:
+            self._fill_metrics(cycle, committed, fetch)
         return SimResult(
             machine=self.machine_label,
             config=self.params.name,
@@ -175,6 +208,25 @@ class SingleCoreMachine:
             },
         )
 
+    def _fill_metrics(self, cycles: int, committed: int,
+                      fetch: SelfFetchUnit) -> None:
+        """Publish the run's statistics into the attached registry."""
+        metrics = self.metrics
+        metrics.gauge("sim.cycles").set(cycles)
+        metrics.gauge("sim.instructions").set(committed)
+        metrics.gauge("sim.ipc").set(committed / cycles if cycles else 0.0)
+        metrics.ingest("core", self.core.stats.as_dict())
+        metrics.ingest("caches", self.hierarchy.stats())
+        metrics.ingest("branch", {
+            "lookups": self.predictor.lookups,
+            "mispredictions": self.predictor.mispredictions,
+            "misprediction_rate": self.predictor.misprediction_rate,
+        })
+        metrics.ingest("fetch", {
+            "fetched": fetch.fetched,
+            "mispredict_stall_cycles": fetch.mispredict_stalls,
+        })
+
     def _partial_stats(self, cycles: int, committed: int) -> dict:
         """Statistics accumulated up to a failure point (not validated —
         the ledger is only complete for fully attributed cycles)."""
@@ -192,13 +244,16 @@ class SingleCoreMachine:
     def failure_snapshot(self, cycle: int,
                          fetch: Optional[SelfFetchUnit] = None) -> dict:
         """JSON-able pipeline snapshot for crash forensics."""
-        return {
+        snapshot = {
             "machine": self.machine_label,
             "cycle": cycle,
             "core": self.core.snapshot(),
             "fetch": fetch.snapshot() if fetch is not None else None,
             "last_committed": [uop_brief(u) for u in self._recent_commits],
         }
+        if self.tracer is not None:
+            snapshot["trace_events"] = self.tracer.tail()
+        return snapshot
 
 
 def simulate_single_core(trace: Sequence[TraceRecord], params: CoreParams,

@@ -1,0 +1,104 @@
+"""CLI smoke tests for ``repro timeline`` and ``repro metrics``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+_TINY = ["--length", "1200", "--warmup", "400"]
+
+
+def test_timeline_chrome_to_file(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main(["timeline", "gcc", "--config", "small", "--machines",
+                 "single", "fgstp", "--format", "chrome", "--out",
+                 str(out)] + _TINY)
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    document = json.loads(out.read_text())
+    process_names = {event["args"]["name"]
+                     for event in document["traceEvents"]
+                     if event["ph"] == "M"
+                     and event["name"] == "process_name"}
+    assert process_names == {"single", "fgstp"}
+    assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+
+def test_timeline_experiment_flag_sets_config(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main(["timeline", "gcc", "--experiment", "e2", "--machines",
+                 "single", "--format", "chrome", "--out", str(out)]
+                + _TINY)
+    assert code == 0
+    assert json.loads(out.read_text())["traceEvents"]
+
+
+def test_timeline_chrome_to_stdout_parses(capsys):
+    code = main(["timeline", "gcc", "--config", "small", "--machines",
+                 "single", "--format", "chrome"] + _TINY)
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["traceEvents"]
+
+
+def test_timeline_ascii(capsys):
+    code = main(["timeline", "gcc", "--config", "small", "--machines",
+                 "fgstp", "--format", "ascii"] + _TINY)
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "pipeline timeline" in output
+    assert "commit occupancy" in output
+    assert "F=fetch" in output
+
+
+def test_timeline_konata_files_per_machine(tmp_path, capsys):
+    out = tmp_path / "log.konata"
+    code = main(["timeline", "gcc", "--config", "small", "--machines",
+                 "single", "fgstp", "--format", "konata", "--out",
+                 str(out)] + _TINY)
+    assert code == 0
+    for machine in ("single", "fgstp"):
+        path = tmp_path / f"log.{machine}.konata"
+        assert path.read_text().startswith("Kanata\t0004")
+
+
+def test_timeline_jsonl_stdout(capsys):
+    code = main(["timeline", "gcc", "--config", "small", "--machines",
+                 "single", "--format", "jsonl"] + _TINY)
+    assert code == 0
+    lines = capsys.readouterr().out.splitlines()
+    payloads = [json.loads(line) for line in lines
+                if line.startswith("{")]
+    assert payloads and all("kind" in payload for payload in payloads)
+
+
+def test_timeline_rejects_unknown_benchmark():
+    assert main(["timeline", "nosuch"] + _TINY) == 2
+
+
+def test_timeline_rejects_unknown_experiment():
+    assert main(["timeline", "gcc", "--experiment", "e999"] + _TINY) == 2
+
+
+def test_metrics_tables(capsys):
+    code = main(["metrics", "gcc", "--config", "small", "--machines",
+                 "single", "fgstp"] + _TINY)
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "sim.cycles" in output
+    assert "single: metrics" in output
+    assert "fgstp: metrics" in output
+
+
+def test_metrics_json(capsys):
+    code = main(["metrics", "gcc", "--config", "small", "--machines",
+                 "single", "--json"] + _TINY)
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["single"]["sim.cycles"]["type"] == "gauge"
+    assert payload["single"]["sim.cycles"]["value"] > 0
+
+
+def test_metrics_rejects_unknown_benchmark():
+    assert main(["metrics", "nosuch"] + _TINY) == 2

@@ -1,0 +1,95 @@
+"""Cross-checks between the event stream and the CPI-stack ledger.
+
+``REPRO_CPISTACK_CHECK`` is on for the whole suite (see
+``tests/conftest.py``), so every run here already validates
+``sum(slots) == cycles * width``; these tests additionally reconcile
+the tracer's commit events against the ledger's retire slots — two
+independent observers of the same retirement stream.
+"""
+
+import pytest
+
+from repro.harness.runners import MACHINES, build_machine
+from repro.obs import PipelineTracer
+from repro.obs.events import RECONFIG, UOP
+from repro.stats.cpistack import cpistack_of
+from repro.workloads.generator import generate_trace
+
+_LENGTH, _WARMUP = 1200, 400
+
+
+@pytest.fixture(scope="module")
+def gcc_trace():
+    return generate_trace("gcc", _LENGTH, 1)
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_commit_events_match_retire_slots(machine, small_config,
+                                          gcc_trace):
+    """Every retire slot the ledger charged must appear as exactly one
+    commit event (replicas retire on their own slots AND record their
+    own events, so the totals match on Fg-STP machines too)."""
+    tracer = PipelineTracer(capacity=1 << 20)
+    result = build_machine(machine, small_config, tracer=tracer).run(
+        gcc_trace, workload="gcc", warmup=_WARMUP)
+    stack = cpistack_of(result)
+    assert stack is not None
+    commits = len(tracer.events(UOP))
+    assert tracer.dropped == 0
+    assert commits == stack.slots["retire"]
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_sampled_stream_is_a_subset(machine, small_config, gcc_trace):
+    full = PipelineTracer(capacity=1 << 20)
+    build_machine(machine, small_config, tracer=full).run(
+        gcc_trace, workload="gcc", warmup=_WARMUP)
+    sampled = PipelineTracer(capacity=1 << 20, sample_window=64,
+                             sample_period=2)
+    build_machine(machine, small_config, tracer=sampled).run(
+        gcc_trace, workload="gcc", warmup=_WARMUP)
+    full_commits = len(full.events(UOP))
+    sampled_commits = len(sampled.events(UOP))
+    assert 0 < sampled_commits <= full_commits
+
+
+def test_measured_instructions_commit_once(small_config, gcc_trace):
+    """On the single-core machine (no replication) the commit events
+    are exactly the measured instructions, each seq exactly once."""
+    tracer = PipelineTracer(capacity=1 << 20)
+    result = build_machine("single", small_config, tracer=tracer).run(
+        gcc_trace, workload="gcc", warmup=_WARMUP)
+    seqs = [event.seq for event in tracer.events(UOP)]
+    assert len(seqs) == result.instructions == _LENGTH - _WARMUP
+    assert sorted(seqs) == list(range(_LENGTH - _WARMUP))
+
+
+def test_adaptive_reconfig_events_match_switch_count(small_config):
+    """One reconfig instant per mode switch, each spanning the penalty
+    the result charged."""
+    from repro.fgstp.adaptive import AdaptiveFgStpMachine
+
+    trace = generate_trace("gcc", 4000, 1)
+    tracer = PipelineTracer(capacity=1 << 20)
+    machine = AdaptiveFgStpMachine(
+        small_config, sample_instructions=200, region_instructions=800,
+        reconfigure_penalty=50, tracer=tracer)
+    result = machine.run(trace, workload="gcc", warmup=400)
+    reconfigs = tracer.events(RECONFIG)
+    assert len(reconfigs) == result.extra["switches"]
+    assert all(event.dur == 50 for event in reconfigs)
+    assert tracer.epochs == len(result.extra["modes"])
+    # The concatenated ledger rescales regions of different widths, so
+    # reconcile architecturally instead: the epoch seq offsets must
+    # stitch the regions into one 0-based measured stream covering
+    # every instruction (replicated instructions retire one event per
+    # copy, all sharing the seq and flagged replica).
+    from collections import Counter
+
+    commits = tracer.events(UOP)
+    retired_per_seq = Counter(event.seq for event in commits)
+    assert set(retired_per_seq) == set(range(result.instructions))
+    replicated = {seq for seq, count in retired_per_seq.items()
+                  if count > 1}
+    assert all(event.replica for event in commits
+               if event.seq in replicated)

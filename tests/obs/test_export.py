@@ -1,0 +1,100 @@
+"""Exporter validity: Chrome trace-event JSON, Konata logs, JSONL."""
+
+import json
+
+import pytest
+
+from repro.obs import PipelineTracer
+from repro.obs.export import (chrome_trace, events_jsonl, konata_log,
+                              write_chrome_trace)
+from repro.obs.attach import run_traced
+from repro.workloads.generator import generate_trace
+
+_LENGTH, _WARMUP = 1200, 400
+
+
+@pytest.fixture(scope="module")
+def gcc_trace():
+    return generate_trace("gcc", _LENGTH, 1)
+
+
+@pytest.fixture(scope="module")
+def traced_pair(gcc_trace):
+    """Events from a single-core and an fgstp run of the same trace."""
+    from repro.uarch.params import small_core_config
+
+    base = small_core_config()
+    events = {}
+    for machine in ("single", "fgstp"):
+        _, tracer = run_traced(machine, gcc_trace, base, workload="gcc",
+                               warmup=_WARMUP)
+        events[machine] = tracer.events()
+    return events
+
+
+def test_chrome_trace_round_trips_and_is_wellformed(traced_pair,
+                                                    tmp_path):
+    document = chrome_trace(traced_pair)
+    path = tmp_path / "trace.json"
+    write_chrome_trace(traced_pair, path)
+    assert json.loads(path.read_text()) == \
+        json.loads(json.dumps(document))
+    events = document["traceEvents"]
+    assert document["displayTimeUnit"]
+    phases = {event["ph"] for event in events}
+    assert {"M", "X", "i"} <= phases
+    process_names = {event["args"]["name"] for event in events
+                     if event["ph"] == "M"
+                     and event["name"] == "process_name"}
+    assert process_names == {"single", "fgstp"}
+    for event in events:
+        if event["ph"] == "X":
+            assert event["dur"] >= 1
+            assert event["ts"] >= 0
+
+
+def test_chrome_trace_spans_cover_stages_and_instants(traced_pair):
+    events = chrome_trace(traced_pair)["traceEvents"]
+    span_categories = {event["cat"] for event in events
+                       if event["ph"] == "X"}
+    assert {"fetch", "dispatch", "execute"} <= span_categories
+    instant_names = {event["name"] for event in events
+                     if event["ph"] == "i"}
+    assert "intercore.send" in instant_names
+    assert "intercore.recv" in instant_names
+    for event in events:
+        if event["ph"] == "i":
+            assert event["s"] == "p"
+
+
+def test_konata_log_header_and_retirements(traced_pair):
+    log = konata_log(traced_pair["fgstp"])
+    lines = log.splitlines()
+    assert lines[0] == "Kanata\t0004"
+    assert lines[1].startswith("C=\t")
+    kinds = {line.split("\t", 1)[0] for line in lines[2:]}
+    assert {"I", "L", "S", "R", "C"} <= kinds
+    retire_lines = [line for line in lines if line.startswith("R\t")]
+    insert_lines = [line for line in lines if line.startswith("I\t")]
+    assert len(retire_lines) == len(insert_lines) > 0
+
+
+def test_events_jsonl_lines_parse(traced_pair):
+    lines = list(events_jsonl(traced_pair["fgstp"]))
+    assert lines
+    kinds = set()
+    for line in lines:
+        payload = json.loads(line)
+        assert "kind" in payload and "cycle" in payload
+        kinds.add(payload["kind"])
+    assert "uop" in kinds
+    assert "intercore.send" in kinds
+
+
+def test_empty_tracer_exports_cleanly():
+    tracer = PipelineTracer()
+    document = chrome_trace({"single": tracer.events()})
+    assert [event for event in document["traceEvents"]
+            if event["ph"] == "X"] == []
+    assert konata_log(tracer.events()).startswith("Kanata\t0004")
+    assert list(events_jsonl(tracer.events())) == []

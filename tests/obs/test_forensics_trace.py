@@ -1,0 +1,67 @@
+"""Crash dumps embed the tracer's ring tail and render it."""
+
+import pytest
+
+from repro.integrity.errors import SimulationError
+from repro.integrity.forensics import (load_crash_dump,
+                                       render_crash_dump,
+                                       render_trace_events,
+                                       write_crash_dump)
+from repro.obs import PipelineTracer
+from repro.uarch.pipeline.machine import SingleCoreMachine
+from repro.workloads.generator import generate_trace
+
+
+def _crash_with_tracer(small_config):
+    trace = generate_trace("gcc", 1200, 1)
+    tracer = PipelineTracer()
+    machine = SingleCoreMachine(small_config, max_cycles=50,
+                                tracer=tracer)
+    with pytest.raises(SimulationError) as excinfo:
+        machine.run(trace, workload="gcc")
+    return excinfo.value
+
+
+def test_failure_snapshot_carries_ring_tail(small_config):
+    error = _crash_with_tracer(small_config)
+    events = (error.snapshot or {}).get("trace_events")
+    assert events, "snapshot should embed the tracer tail"
+    assert len(events) <= 32
+    assert all("kind" in event and "cycle" in event for event in events)
+    # The watchdog instant describing the trip is always present, even
+    # on a run that committed nothing in the ring's window.
+    assert any(event["kind"] == "watchdog" for event in events)
+
+
+def test_render_crash_dump_shows_mini_timeline(small_config, tmp_path):
+    error = _crash_with_tracer(small_config)
+    path = write_crash_dump(error, directory=tmp_path, workload="gcc")
+    rendered = render_crash_dump(load_crash_dump(path))
+    assert "recent pipeline events" in rendered
+    assert "watchdog" in rendered
+
+
+def test_untraced_failure_has_no_trace_section(small_config):
+    trace = generate_trace("gcc", 1200, 1)
+    machine = SingleCoreMachine(small_config, max_cycles=50)
+    with pytest.raises(SimulationError) as excinfo:
+        machine.run(trace, workload="gcc")
+    snapshot = excinfo.value.snapshot or {}
+    assert "trace_events" not in snapshot
+    rendered = render_crash_dump(excinfo.value.as_dict())
+    assert "recent pipeline events" not in rendered
+
+
+def test_render_trace_events_direct():
+    events = [
+        {"kind": "uop", "cycle": 12, "seq": 3, "core": 0, "op": "LOAD",
+         "stages": {"fetch": 4, "dispatch": 5, "issue": 6,
+                    "complete": 10, "commit": 12}},
+        {"kind": "squash", "cycle": 13, "seq": 3, "core": 1,
+         "detail": "violation"},
+    ]
+    lines = render_trace_events(events)
+    timeline = [line for line in lines if "|" in line]
+    assert timeline and "LOAD" in timeline[0]
+    assert any("squash" in line and "violation" in line
+               for line in lines)

@@ -1,0 +1,136 @@
+"""MetricsRegistry semantics: typing, attach/reset, warm-up coverage."""
+
+import pytest
+
+from repro.harness.runners import build_machine
+from repro.obs.metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                               MetricsRegistry)
+from repro.workloads.generator import generate_trace
+
+
+def test_get_or_create_shares_instances():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.b")
+    counter.add(3)
+    assert registry.counter("a.b") is counter
+    assert registry.counter("a.b").value == 3
+    assert "a.b" in registry and len(registry) == 1
+    assert registry.names() == ["a.b"]
+
+
+def test_kind_conflict_raises_typeerror():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+    registry.histogram("h")
+    with pytest.raises(TypeError):
+        registry.counter("h")
+
+
+def test_histogram_bucketing_and_mean():
+    histogram = Histogram("lat", buckets=(1, 4, 16))
+    for value in (0, 1, 2, 4, 5, 100):
+        histogram.observe(value)
+    # Upper-inclusive bounds: <=1, <=4, <=16, overflow.
+    assert histogram.counts == [2, 2, 1, 1]
+    assert histogram.count == 6
+    assert histogram.mean == pytest.approx(112 / 6)
+    histogram.reset()
+    assert histogram.counts == [0, 0, 0, 0] and histogram.count == 0
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(4, 2))
+
+
+def test_attach_requires_reset_stats_and_dedupes():
+    class Component:
+        def __init__(self):
+            self.resets = 0
+
+        def reset_stats(self):
+            self.resets += 1
+
+    registry = MetricsRegistry()
+    component = Component()
+    registry.attach(component)
+    registry.attach(component)  # identity-deduped
+    counter = registry.counter("c")
+    counter.add(5)
+    gauge = registry.gauge("g")
+    gauge.set(2.5)
+    registry.reset()
+    assert component.resets == 1
+    assert counter.value == 0 and gauge.value == 0.0
+    with pytest.raises(TypeError):
+        registry.attach(object())
+
+
+def test_ingest_flattens_nested_stats():
+    registry = MetricsRegistry()
+    registry.ingest("root", {
+        "hits": 7,
+        "rate": 0.5,
+        "enabled": True,
+        "inner": {"deep": 3},
+        "skipped": "text",
+    })
+    flat = registry.collect()
+    assert flat["root.hits"] == 7
+    assert flat["root.rate"] == 0.5
+    assert flat["root.enabled"] == 1
+    assert flat["root.inner.deep"] == 3
+    assert "root.skipped" not in flat
+    assert registry.get("root.hits").kind == "counter"
+    assert registry.get("root.rate").kind == "gauge"
+
+
+def test_as_dict_and_collect_shapes():
+    registry = MetricsRegistry()
+    registry.counter("c").add(2)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h").observe(10)
+    payload = registry.as_dict()
+    assert payload["c"] == {"type": "counter", "value": 2}
+    assert payload["g"] == {"type": "gauge", "value": 1.5}
+    assert payload["h"]["count"] == 1
+    assert payload["h"]["buckets"] == list(DEFAULT_BUCKETS)
+    assert registry.collect() == {"c": 2, "g": 1.5, "h": 10.0}
+
+
+def test_warmup_reset_covers_registry(small_config):
+    """The machine's warm-up reset must zero pre-existing metrics —
+    the same leak class the MSHR/prefetcher counters once had."""
+    trace = generate_trace("gcc", 1200, 1)
+    registry = MetricsRegistry()
+    leak = registry.counter("leak.probe")
+    leak.add(123)  # would survive warm-up if reset() were skipped
+    machine = build_machine("single", small_config, metrics=registry)
+    result = machine.run(trace, workload="gcc", warmup=400)
+    assert leak.value == 0
+    # Ingested metrics reflect the measured window only, matching the
+    # result's own (post-reset) statistics exactly.
+    flat = registry.collect()
+    assert flat["caches.l1d.accesses"] == \
+        result.extra["caches"]["l1d"]["accesses"]
+    assert flat["sim.cycles"] == result.cycles
+    assert flat["sim.instructions"] == result.instructions
+
+
+def test_warmup_reset_covers_fgstp_registry(small_config):
+    trace = generate_trace("gcc", 1200, 1)
+    registry = MetricsRegistry()
+    registry.gauge("stale.gauge").set(9.0)
+    machine = build_machine("fgstp", small_config, metrics=registry)
+    result = machine.run(trace, workload="gcc", warmup=400)
+    assert registry.get("stale.gauge").value == 0.0
+    flat = registry.collect()
+    assert flat["sim.cycles"] == result.cycles
+    assert flat["sim.instructions"] == result.instructions
+
+
+def test_metric_classes_export_kind():
+    assert Counter("c").kind == "counter"
+    assert Gauge("g").kind == "gauge"
+    assert Histogram("h").kind == "histogram"

@@ -1,0 +1,81 @@
+"""Sweep-engine trace sampling: dumps, result annotation, cache keys."""
+
+import json
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.parallel import (ExperimentEngine, SweepJob, make_job)
+
+
+def _jobs(small_config, benchmarks=("gcc", "mcf")):
+    config = ExperimentConfig(trace_length=1200, warmup=400, seed=1)
+    return [make_job(machine, benchmark, small_config, config)
+            for machine in ("single", "fgstp")
+            for benchmark in benchmarks]
+
+
+def test_trace_sample_full_writes_dumps(small_config, tmp_path):
+    engine = ExperimentEngine(max_workers=1, cache_dir=tmp_path,
+                              trace_sample=1.0)
+    outcome = engine.run(_jobs(small_config))
+    assert outcome.ok
+    assert all(job.trace for job in outcome.jobs)
+    for job, result in zip(outcome.jobs, outcome.results):
+        block = result.extra["pipetrace"]
+        assert block["events"] > 0
+        dump = tmp_path / "traces" / f"{job.key()}.pipetrace.json"
+        assert block["dump"] == str(dump)
+        document = json.loads(dump.read_text())
+        names = {event["args"]["name"]
+                 for event in document["traceEvents"]
+                 if event["ph"] == "M"
+                 and event["name"] == "process_name"}
+        assert names == {job.machine}
+
+
+def test_trace_sample_zero_leaves_jobs_plain(small_config, tmp_path):
+    engine = ExperimentEngine(max_workers=1, cache_dir=tmp_path)
+    outcome = engine.run(_jobs(small_config, benchmarks=("gcc",)))
+    assert outcome.ok
+    assert not any(job.trace for job in outcome.jobs)
+    assert all("pipetrace" not in result.extra
+               for result in outcome.results)
+    assert not list((tmp_path / "traces").glob("*.pipetrace.json"))
+
+
+def test_traced_results_never_served_to_plain_jobs(small_config,
+                                                   tmp_path):
+    """A traced sweep then a plain sweep over the same matrix: the
+    plain run must miss the traced cache entries (distinct keys) and
+    its results must not carry the pipetrace block."""
+    jobs = _jobs(small_config, benchmarks=("gcc",))
+    traced_engine = ExperimentEngine(max_workers=1, cache_dir=tmp_path,
+                                     trace_sample=1.0)
+    assert traced_engine.run(jobs).ok
+    plain_engine = ExperimentEngine(max_workers=1, cache_dir=tmp_path)
+    outcome = plain_engine.run(jobs)
+    assert outcome.ok
+    assert outcome.metrics.result_cache_hits == 0
+    assert all("pipetrace" not in result.extra
+               for result in outcome.results)
+    # Timing is unaffected by tracing: both sweeps agree exactly.
+    rerun = ExperimentEngine(max_workers=1, cache_dir=tmp_path,
+                             trace_sample=1.0).run(jobs)
+    for traced, plain in zip(rerun.results, outcome.results):
+        assert traced.cycles == plain.cycles
+        assert traced.instructions == plain.instructions
+
+
+def test_trace_promotion_is_deterministic(small_config, tmp_path):
+    engine = ExperimentEngine(max_workers=1, cache_dir=tmp_path,
+                              trace_sample=0.5)
+    jobs = _jobs(small_config)
+    first = [job.trace for job in engine.run(jobs).jobs]
+    second = [job.trace for job in engine.run(jobs).jobs]
+    assert first == second
+
+
+def test_trace_field_survives_dataclass_identity(small_config):
+    config = ExperimentConfig(trace_length=1200, warmup=400, seed=1)
+    job = SweepJob(machine="single", benchmark="gcc",
+                   base=small_config, config=config, trace=True)
+    assert job.trace and job.name.endswith("/trace")

@@ -1,0 +1,117 @@
+"""Ring-buffer tracer semantics: bounds, sampling, epochs, instants."""
+
+import pytest
+
+from repro.obs.events import (CHAOS, RECONFIG, SQUASH, STAGE_NAMES, UOP,
+                              WATCHDOG, TraceEvent)
+from repro.obs.tracer import PipelineTracer
+
+
+class _FakeUop:
+    def __init__(self, seq, cycle):
+        self.uid = seq
+        self.seq = seq
+        self.core_id = 0
+        self.cluster = 0
+        self.replica = False
+        self.fetch_cycle = cycle - 4
+        self.dispatch_cycle = cycle - 3
+        self.issue_cycle = cycle - 2
+        self.complete_cycle = cycle - 1
+
+        class _Record:
+            pc = seq * 4
+
+            class op_class:
+                name = "IALU"
+
+        self.record = _Record()
+
+
+def test_ring_is_bounded_and_counts_drops():
+    tracer = PipelineTracer(capacity=8)
+    for seq in range(20):
+        tracer.commit(_FakeUop(seq, cycle=seq + 10), cycle=seq + 10)
+    events = tracer.events()
+    assert len(events) == 8
+    assert tracer.dropped == 12
+    # The ring keeps the newest events.
+    assert [event.seq for event in events] == list(range(12, 20))
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValueError):
+        PipelineTracer(capacity=0)
+    with pytest.raises(ValueError):
+        PipelineTracer(sample_window=-1)
+    with pytest.raises(ValueError):
+        PipelineTracer(sample_period=0)
+
+
+def test_sampling_is_deterministic_window_function():
+    tracer = PipelineTracer(sample_window=10, sample_period=3)
+    # Window 0 records, windows 1 and 2 do not, window 3 records again.
+    assert tracer.sampled(0) and tracer.sampled(9)
+    assert not tracer.sampled(10) and not tracer.sampled(29)
+    assert tracer.sampled(30)
+    for cycle in (5, 15, 25, 35):
+        tracer.commit(_FakeUop(cycle, cycle), cycle)
+    assert [event.cycle for event in tracer.events()] == [5, 35]
+
+
+def test_rare_instants_bypass_sampling():
+    tracer = PipelineTracer(sample_window=10, sample_period=2)
+    for kind in (SQUASH, RECONFIG, WATCHDOG, CHAOS):
+        tracer.instant(kind, 15)  # an unsampled window
+    assert len(tracer.events()) == 4
+    tracer.instant("intercore.send", 15)  # samplable kind: dropped
+    assert len(tracer.events()) == 4
+
+
+def test_epoch_offsets_shift_cycles_and_seqs():
+    tracer = PipelineTracer()
+    tracer.begin_epoch(1000, seq_offset=50)
+    tracer.commit(_FakeUop(3, cycle=20), cycle=20)
+    event = tracer.events()[0]
+    assert event.seq == 53
+    assert event.cycle == 1020
+    assert event.stages == (1016, 1017, 1018, 1019, 1020)
+    assert tracer.epochs == 1
+
+
+def test_missing_stage_cycles_stay_unknown():
+    uop = _FakeUop(1, cycle=30)
+    uop.issue_cycle = -1
+    uop.complete_cycle = -1
+    tracer = PipelineTracer()
+    tracer.commit(uop, cycle=30)
+    stages = tracer.events()[0].stages
+    assert stages[2] == -1 and stages[3] == -1
+    assert stages[4] == 30
+
+
+def test_as_dict_shape_and_tail():
+    tracer = PipelineTracer()
+    tracer.commit(_FakeUop(7, cycle=12), cycle=12)
+    tracer.instant(SQUASH, 13, seq=7, core=1, detail="violation")
+    payload = tracer.tail()
+    assert len(payload) == 2
+    uop, squash = payload
+    assert uop["kind"] == UOP
+    assert set(uop["stages"]) == set(STAGE_NAMES)
+    assert squash["kind"] == SQUASH
+    assert squash["detail"] == "violation"
+    summary = tracer.summary()
+    assert summary["recorded"] == 2
+    assert summary["by_kind"][UOP] == 1
+    tracer.clear()
+    assert tracer.events() == [] and tracer.dropped == 0
+
+
+def test_events_filter_by_kind():
+    tracer = PipelineTracer()
+    tracer.commit(_FakeUop(1, 10), 10)
+    tracer.instant(SQUASH, 11)
+    assert [event.kind for event in tracer.events(SQUASH)] == [SQUASH]
+    assert all(isinstance(event, TraceEvent)
+               for event in tracer.events())

@@ -25,6 +25,10 @@ Commands:
   Perfetto), Konata pipeline logs, JSONL, or an ASCII timeline.
 * ``metrics`` — run machines with the unified metrics registry
   attached and print every counter/gauge/histogram.
+* ``bench`` — simulation-throughput benchmark: pinned workload matrix
+  across the machines, kilo-cycles/s and instructions/s from multi-rep
+  medians, ``BENCH_<date>.json`` snapshot, regression check against
+  the previous snapshot.
 
 Exit codes are uniform across commands: 0 = success, 1 = an experiment
 or validation failed (including a simulation that hung or overflowed —
@@ -432,6 +436,64 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .harness import bench
+
+    machines = args.machines or list(bench.PINNED_MACHINES)
+    benchmarks = args.benchmarks or list(bench.PINNED_BENCHMARKS)
+    unknown = [name for name in benchmarks if name not in PROFILES]
+    if unknown:
+        print(f"unknown benchmarks {unknown}; see `list`", file=sys.stderr)
+        return 2
+    if args.reps < 1:
+        print(f"--reps must be >= 1: {args.reps}", file=sys.stderr)
+        return 2
+    if not 0 <= args.threshold < 1:
+        print(f"--threshold must be in [0, 1): {args.threshold}",
+              file=sys.stderr)
+        return 2
+    out_dir = Path(args.out)
+    snapshot = bench.run_matrix(
+        machines=machines, benchmarks=benchmarks, config=args.config,
+        length=args.length, warmup=args.warmup, seed=args.seed,
+        reps=args.reps, log=print)
+    if args.no_write:
+        path = None
+    else:
+        path = bench.write_snapshot(snapshot, out_dir)
+        print(f"snapshot written to {path}")
+    if args.baseline:
+        before_path = Path(args.baseline)
+        if not before_path.is_file():
+            print(f"baseline snapshot not found: {before_path}",
+                  file=sys.stderr)
+            return 2
+    else:
+        before_path = bench.previous_snapshot(out_dir, exclude=path)
+    if before_path is None:
+        print("no previous snapshot to compare against")
+        return 0
+    before = bench.load_snapshot(before_path)
+    if bench.comparable_cells(snapshot, before) == 0:
+        print(f"warning: {before_path} is not comparable to this run "
+              f"(different sizing or no overlapping cells) — "
+              f"no regression check performed", file=sys.stderr)
+        return 0
+    regressions = bench.compare_snapshots(snapshot, before,
+                                          threshold=args.threshold)
+    if not regressions:
+        print(f"no regressions beyond {args.threshold:.0%} "
+              f"vs {before_path}")
+        return 0
+    print(f"throughput regressions vs {before_path}:", file=sys.stderr)
+    for reg in regressions:
+        print(f"  {reg['machine']}/{reg['benchmark']}: "
+              f"{reg['kcps']:.1f} kc/s vs {reg['previous_kcps']:.1f} "
+              f"({reg['ratio']:.0%} of previous, "
+              f"floor {1 - args.threshold:.0%})", file=sys.stderr)
+    return 1
+
+
 def cmd_validate(args) -> int:
     from .validation import validate_all
 
@@ -716,6 +778,42 @@ def main(argv=None) -> int:
                                      "tables")
     _add_sizing(metrics_parser)
 
+    bench_parser = sub.add_parser(
+        "bench", help="simulation-throughput benchmark "
+                      "(pinned matrix, snapshot + regression check)")
+    bench_parser.add_argument("--machines", nargs="*", default=[],
+                              choices=MACHINES,
+                              help="machines to run (default: all)")
+    bench_parser.add_argument("--benchmarks", nargs="*", default=[],
+                              help="benchmarks to run "
+                                   "(default: gcc mcf milc)")
+    bench_parser.add_argument("--config", default="medium",
+                              choices=("small", "medium"))
+    bench_parser.add_argument("--length", type=int, default=30000,
+                              help="pinned trace length (default 30000)")
+    bench_parser.add_argument("--warmup", type=int, default=10000,
+                              help="pinned warm-up (default 10000)")
+    bench_parser.add_argument("--seed", type=int, default=42,
+                              help="pinned trace seed (default 42)")
+    bench_parser.add_argument("--reps", type=int, default=3,
+                              help="measured repetitions per cell; one "
+                                   "extra warm-up rep is discarded "
+                                   "(default 3)")
+    bench_parser.add_argument("--threshold", type=float, default=0.25,
+                              help="allowed fractional throughput drop "
+                                   "vs the previous snapshot "
+                                   "(default 0.25)")
+    bench_parser.add_argument("--out", default=".",
+                              help="directory for BENCH_<date>.json "
+                                   "(default: current directory)")
+    bench_parser.add_argument("--baseline", default="",
+                              help="explicit snapshot to compare against "
+                                   "(default: latest BENCH_*.json in "
+                                   "--out)")
+    bench_parser.add_argument("--no-write", action="store_true",
+                              help="measure and compare without writing "
+                                   "a snapshot")
+
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run,
                 "simulate": cmd_simulate, "profile": cmd_profile,
@@ -723,7 +821,7 @@ def main(argv=None) -> int:
                 "validate": cmd_validate, "forensics": cmd_forensics,
                 "minimize": cmd_minimize, "oracle": cmd_oracle,
                 "fuzz": cmd_fuzz, "timeline": cmd_timeline,
-                "metrics": cmd_metrics}
+                "metrics": cmd_metrics, "bench": cmd_bench}
     return handlers[args.command](args)
 
 

@@ -126,6 +126,7 @@ class CoreFusionMachine:
                  lsq_crossing_penalty: Optional[int] = None,
                  max_cycles: int = 200_000_000,
                  watchdog_window: Optional[int] = None,
+                 skip_ahead: Optional[bool] = None,
                  commit_hook=None, tracer=None, metrics=None):
         self.base = base
         self.tracer = tracer
@@ -149,8 +150,22 @@ class CoreFusionMachine:
             machine_label="corefusion",
             max_cycles=max_cycles,
             watchdog_window=watchdog_window,
+            skip_ahead=skip_ahead,
             commit_hook=commit_hook,
             tracer=tracer, metrics=metrics)
+
+    @property
+    def skip_ahead(self) -> bool:
+        return self._machine.skip_ahead
+
+    @skip_ahead.setter
+    def skip_ahead(self, value: bool) -> None:
+        self._machine.skip_ahead = bool(value)
+
+    @property
+    def skipped_cycles(self) -> int:
+        """Cycles the last run bridged via skip-ahead (diagnostic)."""
+        return self._machine.skipped_cycles
 
     @property
     def hierarchy(self):

@@ -91,6 +91,7 @@ class AdaptiveFgStpMachine:
                  region_instructions: int = 20000,
                  reconfigure_penalty: int = 200,
                  watchdog_window: Optional[int] = None,
+                 skip_ahead: Optional[bool] = None,
                  commit_hook=None, tracer=None, metrics=None):
         self.commit_hook = commit_hook
         self.tracer = tracer
@@ -106,6 +107,9 @@ class AdaptiveFgStpMachine:
         self.region_instructions = region_instructions
         self.reconfigure_penalty = reconfigure_penalty
         self.watchdog_window = watchdog_window
+        #: Forwarded to every region machine (sample and full runs);
+        #: ``None`` lets each follow the REPRO_SKIP_AHEAD environment.
+        self.skip_ahead = skip_ahead
 
     def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
             warmup: int = 0) -> SimResult:
@@ -224,14 +228,16 @@ class AdaptiveFgStpMachine:
                     offset: int = 0, cycle_offset: int = 0,
                     previous_mode: Optional[str] = None):
         window = self.watchdog_window
+        skip = self.skip_ahead
         sample_end = min(len(region_trace),
                          region_warmup + self.sample_instructions)
         sample = reseq(region_trace[:sample_end])
         single_sample = SingleCoreMachine(
-            self.base, watchdog_window=window).run(
+            self.base, watchdog_window=window, skip_ahead=skip).run(
             sample, workload=workload, warmup=region_warmup)
         fgstp_sample = FgStpMachine(
-            self.base, self.fgstp, watchdog_window=window).run(
+            self.base, self.fgstp, watchdog_window=window,
+            skip_ahead=skip).run(
             sample, workload=workload, warmup=region_warmup)
         # Only the winning mode's full-region run retires the region
         # architecturally; the sample runs above model performance
@@ -254,11 +260,11 @@ class AdaptiveFgStpMachine:
         if mode == "fgstp":
             result = FgStpMachine(
                 self.base, self.fgstp, watchdog_window=window,
-                commit_hook=hook, tracer=tracer).run(
+                skip_ahead=skip, commit_hook=hook, tracer=tracer).run(
                 region_trace, workload=workload, warmup=region_warmup)
         else:
             result = SingleCoreMachine(
-                self.base, watchdog_window=window,
+                self.base, watchdog_window=window, skip_ahead=skip,
                 commit_hook=hook, tracer=tracer).run(
                 region_trace, workload=workload, warmup=region_warmup)
         return mode, result

@@ -15,6 +15,7 @@ which is exactly the contention the bandwidth-sensitivity experiment
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import List
 
 from ..uarch.pipeline.uop import Uop, ValueTag
@@ -114,7 +115,9 @@ class InterCoreQueue:
             {"eligible": eligible, "tag": tag.label,
              "satisfied": tag.ready_cycle is not None,
              "consumers": len(tag.consumers)}
-            for eligible, tag in list(self._fifo)[:limit]
+            # islice keeps the snapshot O(limit) even under a deep
+            # backlog (materialising the whole FIFO froze forensics).
+            for eligible, tag in islice(self._fifo, limit)
         ]
         return {
             "name": self.name,

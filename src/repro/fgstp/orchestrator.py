@@ -49,7 +49,7 @@ from ..trace.record import TraceRecord
 from ..uarch.branch.btb import FrontEndPredictor
 from ..uarch.cache.hierarchy import CacheHierarchy, make_shared_l2
 from ..uarch.params import CoreParams
-from ..uarch.pipeline.core import CycleCore
+from ..uarch.pipeline.core import NO_EVENT, CycleCore, skip_ahead_enabled
 from ..uarch.pipeline.machine import RECENT_COMMITS
 from ..uarch.pipeline.uop import (
     COMMITTED,
@@ -98,6 +98,7 @@ class FgStpMachine:
                  max_cycles: int = 200_000_000,
                  policy: Optional[str] = None,
                  watchdog_window: Optional[int] = None,
+                 skip_ahead: Optional[bool] = None,
                  commit_hook=None, tracer=None, metrics=None):
         self.base = base
         self.commit_hook = commit_hook
@@ -105,6 +106,10 @@ class FgStpMachine:
         self.metrics = metrics
         self.fgstp = fgstp or FgStpParams()
         self.max_cycles = max_cycles
+        self.skip_ahead = skip_ahead_enabled(skip_ahead)
+        #: Diagnostic: cycles the last run bridged via skip-ahead (not
+        #: part of the SimResult, which is bit-identical either way).
+        self.skipped_cycles = 0
         self.policy_name = policy or "chain"
         self.watchdog = Watchdog(watchdog_window)
         self._recent_commits: Deque[Uop] = deque(maxlen=RECENT_COMMITS)
@@ -208,6 +213,8 @@ class FgStpMachine:
         watchdog.reset()
         self._recent_commits.clear()
         tracer = self.tracer
+        skip = self.skip_ahead
+        self.skipped_cycles = 0
         while self._global_next < total:
             if cycle > self.max_cycles:
                 if tracer is not None:
@@ -240,8 +247,23 @@ class FgStpMachine:
                     detail="intercore" if busy else "frontend",
                     partial=self._partial_stats(cycle),
                     snapshot=self.failure_snapshot(cycle))
-            self._cycle(cycle)
+            progress = self._cycle(cycle)
             cycle += 1
+            if skip and not progress:
+                # Both cores, queues and the front end are stalled on
+                # known-future events: charge the intervening idle
+                # cycles in bulk and jump the clock (bit-identical to
+                # the naive loop — see _next_event's contract).
+                target = self._next_event(cycle - 1)
+                if target > cycle:
+                    count = target - cycle
+                    cause = self._frontend_cause(cycle)
+                    for core in self.cores:
+                        core.charge_idle_cycles(cycle, count,
+                                                frontend_cause=cause)
+                    self._charge_frontend_idle(cycle, count)
+                    self.skipped_cycles += count
+                    cycle = target
         try:
             for core in self.cores:
                 core.drain_check()
@@ -252,48 +274,68 @@ class FgStpMachine:
             raise
         return self._result(workload, cycle, total)
 
-    def _cycle(self, now: int) -> None:
+    def _cycle(self, now: int) -> bool:
+        """Simulate one cycle; True when anything made progress.
+
+        A False return means the whole machine replayed an idle cycle
+        (no delivery, commit, completion, issue, dispatch, feed push or
+        front-end activity) — the precondition for the skip-ahead fast
+        path in :meth:`run`.
+        """
         self._now = now
+        cores = self.cores
+        core0, core1 = cores
         # 1. Queue deliveries wake consumers on the destination core.
-        for queue in self.queues:
-            for uop in queue.deliver(now):
-                self.cores[uop.core_id].wake(uop)
+        #    Progress is detected via the delivery counters: an entry
+        #    can be delivered without waking anyone (no consumers yet),
+        #    and that still changes queue state.
+        q0, q1 = self.queues
+        delivered = q0.deliveries + q1.deliveries
+        for uop in q0.deliver(now):
+            cores[uop.core_id].wake(uop)
+        for uop in q1.deliver(now):
+            cores[uop.core_id].wake(uop)
+        delivered = q0.deliveries + q1.deliveries - delivered
         # 2. Global in-order commit (multi-pass so replicas and the
         #    cross-core retirement order resolve within one cycle).
         width = self.base.commit_width
         remaining = [width, width]
+        gate = self._commit_gate
         progress = True
         while progress and (remaining[0] > 0 or remaining[1] > 0):
             progress = False
-            for index, core in enumerate(self.cores):
+            for index, core in enumerate(cores):
                 if remaining[index] <= 0:
                     continue
-                committed = core.phase_commit(now, self._commit_gate,
+                committed = core.phase_commit(now, gate,
                                               budget=remaining[index])
                 if committed:
                     remaining[index] -= len(committed)
                     progress = True
+        retired = 2 * width - remaining[0] - remaining[1]
         # 3. Execution completion (fires sends and violation watches).
-        for core in self.cores:
-            core.phase_complete(now)
-        self._process_violations(now)
+        completed = len(core0.phase_complete(now))
+        completed += len(core1.phase_complete(now))
+        if self._pending_violations:
+            self._process_violations(now)
         # 4. Issue.
-        for core in self.cores:
-            core.phase_issue(now)
+        issued = core0.phase_issue(now) + core1.phase_issue(now)
         # 5. Dispatch.
-        for core in self.cores:
-            core.phase_dispatch(now)
+        dispatched = core0.phase_dispatch(now) + core1.phase_dispatch(now)
         # 6. Feed partitioned uops into the cores' fetch buffers.
-        self._feed_cores(now)
+        fed = self._feed_cores(now)
         # 7. Global fetch + partition.
-        self._global_fetch(now)
+        fetched = self._global_fetch(now)
         # 8. Cycle accounting: every commit slot of both cores is
         #    charged to exactly one cause this cycle.
         cause = self._frontend_cause(now)
-        for index, core in enumerate(self.cores):
-            core.attribute_cycle(now, width - remaining[index],
-                                 frontend_cause=cause)
+        core0.attribute_cycle(now, width - remaining[0],
+                              frontend_cause=cause)
+        core1.attribute_cycle(now, width - remaining[1],
+                              frontend_cause=cause)
         self._maybe_prune()
+        return bool(delivered or retired or completed or issued
+                    or dispatched or fed or fetched)
 
     def _frontend_cause(self, now: int) -> str:
         """The global front end's stall cause at *now* (CPI accounting).
@@ -315,6 +357,66 @@ class FgStpMachine:
         if self._fetch_cursor - self._global_next >= self.fgstp.window_size:
             return "window"
         return "fetch"
+
+    # ------------------------------------------------------------------
+    # Idle-cycle skip-ahead
+    # ------------------------------------------------------------------
+
+    def _next_event(self, now: int) -> int:
+        """Earliest cycle after *now* at which anything can change.
+
+        Computed only after a zero-progress cycle, so every pending
+        wake-up is on a scheduled timetable: core completion / ready
+        heaps and blame-flip boundaries (:meth:`CycleCore.next_event`),
+        queue-head eligibility, feed-head partition latency, the
+        redirect resume and I-cache fill cycles (both also
+        ``_frontend_cause`` boundaries), the watchdog expiry and the
+        ``max_cycles`` ceiling.  Chains that bottom out in none of
+        these (a genuine deadlock) are bounded by the watchdog, which
+        then fires at exactly the same cycle as under the naive loop.
+        """
+        nxt = self.cores[0].next_event(now)
+        bound = self.cores[1].next_event(now)
+        if bound < nxt:
+            nxt = bound
+        for queue in self.queues:
+            fifo = queue._fifo
+            if fifo and fifo[0][0] < nxt:
+                nxt = fifo[0][0]
+        for feed in self._feed:
+            if feed:
+                available_at = feed[0][0]
+                if now < available_at < nxt:
+                    nxt = available_at
+        resume = self._fetch_resume_at
+        if now < resume < nxt:
+            nxt = resume
+        fill = self._icache_ready
+        if now < fill < nxt:
+            nxt = fill
+        bound = self.watchdog.next_expiry()
+        if bound < nxt:
+            nxt = bound
+        if self.max_cycles + 1 < nxt:
+            nxt = self.max_cycles + 1
+        return nxt
+
+    def _charge_frontend_idle(self, first: int, count: int) -> None:
+        """Replay *count* skipped cycles' front-end stall counters.
+
+        Mirrors :meth:`_global_fetch`'s gating order exactly; the
+        branch taken is constant across the skipped range because
+        every flip boundary is a :meth:`_next_event` bound.
+        """
+        if self._fetch_cursor >= len(self._trace):
+            return
+        if self._stall_seq is not None:
+            self.mispredict_stall_cycles += count
+            return
+        if first < self._fetch_resume_at or first < self._icache_ready:
+            return
+        if self._fetch_cursor - self._global_next >= self.fgstp.window_size:
+            self.window_stall_cycles += count
 
     # ------------------------------------------------------------------
     # Commit
@@ -436,7 +538,8 @@ class FgStpMachine:
     # Feeding partitioned uops into the cores
     # ------------------------------------------------------------------
 
-    def _feed_cores(self, now: int) -> None:
+    def _feed_cores(self, now: int) -> int:
+        pushed = 0
         for index, core in enumerate(self.cores):
             feed = self._feed[index]
             budget = self.base.fetch_width
@@ -447,26 +550,36 @@ class FgStpMachine:
                 feed.popleft()
                 core.push_fetched(uop, now)
                 budget -= 1
+                pushed += 1
+        return pushed
 
     # ------------------------------------------------------------------
     # Global fetch + partitioning
     # ------------------------------------------------------------------
 
-    def _global_fetch(self, now: int) -> None:
+    def _global_fetch(self, now: int) -> bool:
+        """Fetch/partition at *now*; True when the front end did work.
+
+        A False return is a pure stall replay (mispredict redirect,
+        redirect/I-cache wait, or a full lookahead window) whose only
+        side effect is the matching stall counter — exactly what
+        :meth:`_charge_frontend_idle` bulk-replays for skipped cycles.
+        """
         trace = self._trace
         cursor = self._fetch_cursor
         if cursor >= len(trace):
             if self._batch:
                 self._partition_batch(now)
-            return
+                return True
+            return False
         if self._stall_seq is not None:
             self.mispredict_stall_cycles += 1
-            return
+            return False
         if now < self._fetch_resume_at or now < self._icache_ready:
-            return
+            return False
         if cursor - self._global_next >= self.fgstp.window_size:
             self.window_stall_cycles += 1
-            return
+            return False
 
         width = 2 * self.base.fetch_width
         taken_budget = 2
@@ -505,6 +618,10 @@ class FgStpMachine:
                 or cursor >= len(trace)
                 or self._cores_starving()):
             self._partition_batch(now)
+        # The fetch loop body ran at least once (the pure-stall paths
+        # all returned above): either instructions entered the batch or
+        # an I-cache miss was initiated — both are front-end activity.
+        return True
 
     def _cores_starving(self) -> bool:
         """True when both feed queues are empty (partition-unit bubble).

@@ -1,0 +1,240 @@
+"""Perf-regression benchmark harness (``repro bench``).
+
+Simulation throughput is a first-class deliverable: every experiment the
+repository can afford scales with how many cycles per wall-clock second
+the models simulate.  This harness runs a **pinned workload matrix**
+(fixed benchmarks, machines, trace length, warm-up and seed, so numbers
+are comparable across commits), reports kilo-cycles-per-second and
+instructions-per-second with warm-up-rep discard and multi-rep medians,
+writes a ``BENCH_<date>.json`` snapshot at the repository root, and
+compares against the previous snapshot with a configurable regression
+threshold — the trajectory CI ratchets.
+
+Methodology:
+
+* Every ``(machine, benchmark)`` cell runs ``reps + 1`` times on a fresh
+  machine each time; the first repetition is discarded (it pays trace
+  generation, allocator warm-up and branch-predictor-of-the-interpreter
+  effects) and the **median** of the remaining repetitions is reported.
+* Throughput is wall-clock only over ``Machine.run`` — trace generation
+  and machine construction are excluded.
+* Snapshots embed the matrix configuration; comparisons refuse to match
+  cells whose configuration differs (a changed matrix is a new
+  trajectory, not a regression).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..fgstp.params import FgStpParams
+from ..uarch.params import core_config
+from ..workloads.generator import generate_trace
+from .runners import MACHINES, build_machine
+
+#: Snapshot schema version (bump on incompatible layout changes).
+SCHEMA_VERSION = 1
+
+#: The pinned matrix: benchmarks spanning compute-bound (gcc),
+#: memory-latency-bound (mcf) and memory-bandwidth-bound (milc)
+#: behaviour, on every machine model.
+PINNED_BENCHMARKS = ("gcc", "mcf", "milc")
+PINNED_MACHINES = MACHINES
+PINNED_CONFIG = "medium"
+PINNED_LENGTH = 30_000
+PINNED_WARMUP = 10_000
+PINNED_SEED = 42
+
+#: Measured repetitions per cell (one extra warm-up rep is always run
+#: and discarded).
+DEFAULT_REPS = 3
+
+#: Default allowed throughput drop vs. the previous snapshot (fraction).
+DEFAULT_THRESHOLD = 0.25
+
+#: Snapshot filename pattern at the repository root.
+SNAPSHOT_GLOB = "BENCH_*.json"
+
+
+def run_cell(machine: str, benchmark: str, config: str = PINNED_CONFIG,
+             length: int = PINNED_LENGTH, warmup: int = PINNED_WARMUP,
+             seed: int = PINNED_SEED, reps: int = DEFAULT_REPS) -> Dict:
+    """Benchmark one ``(machine, benchmark)`` cell.
+
+    Returns:
+        A JSON-able entry: identity, simulated cycles/instructions,
+        per-rep wall times, and median-based kcps / ips.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1: {reps}")
+    base = core_config(config)
+    trace = generate_trace(benchmark, length, seed)
+    times: List[float] = []
+    result = None
+    for rep in range(reps + 1):
+        model = build_machine(machine, base, FgStpParams())
+        start = time.perf_counter()
+        result = model.run(trace, workload=benchmark, warmup=warmup)
+        elapsed = time.perf_counter() - start
+        if rep > 0:  # rep 0 is the discarded warm-up repetition
+            times.append(elapsed)
+    median = statistics.median(times)
+    return {
+        "machine": machine,
+        "benchmark": benchmark,
+        "config": config,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "reps": reps,
+        "times_s": [round(t, 6) for t in times],
+        "median_s": round(median, 6),
+        "kcps": round(result.cycles / median / 1000.0, 3),
+        "ips": round(result.instructions / median, 1),
+    }
+
+
+def run_matrix(machines: Sequence[str] = PINNED_MACHINES,
+               benchmarks: Sequence[str] = PINNED_BENCHMARKS,
+               config: str = PINNED_CONFIG,
+               length: int = PINNED_LENGTH, warmup: int = PINNED_WARMUP,
+               seed: int = PINNED_SEED, reps: int = DEFAULT_REPS,
+               log: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the full matrix and return a snapshot document."""
+    entries = []
+    for machine in machines:
+        for benchmark in benchmarks:
+            entry = run_cell(machine, benchmark, config=config,
+                             length=length, warmup=warmup, seed=seed,
+                             reps=reps)
+            entries.append(entry)
+            if log is not None:
+                log(f"{machine:15s} {benchmark:10s} "
+                    f"{entry['kcps']:9.1f} kc/s "
+                    f"{entry['ips']:11.0f} instr/s "
+                    f"(median of {reps}, {entry['cycles']} cycles)")
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": datetime.datetime.now().isoformat(timespec="seconds"),
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "matrix": {
+            "machines": list(machines),
+            "benchmarks": list(benchmarks),
+            "config": config,
+            "length": length,
+            "warmup": warmup,
+            "seed": seed,
+            "reps": reps,
+        },
+        "entries": entries,
+    }
+
+
+def snapshot_path(root: Path, date: Optional[datetime.date] = None) -> Path:
+    """``BENCH_<YYYYMMDD>.json`` under *root* for *date* (default today)."""
+    date = date or datetime.date.today()
+    return Path(root) / f"BENCH_{date.strftime('%Y%m%d')}.json"
+
+
+def write_snapshot(snapshot: Dict, root: Path,
+                   date: Optional[datetime.date] = None) -> Path:
+    """Write *snapshot* at *root* and return its path."""
+    path = snapshot_path(root, date)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def previous_snapshot(root: Path,
+                      exclude: Optional[Path] = None) -> Optional[Path]:
+    """Latest snapshot under *root* other than *exclude* (dateless sort
+    works because the filename embeds ``YYYYMMDD``)."""
+    exclude = Path(exclude).resolve() if exclude is not None else None
+    candidates = sorted(
+        path for path in Path(root).glob(SNAPSHOT_GLOB)
+        if exclude is None or path.resolve() != exclude)
+    return candidates[-1] if candidates else None
+
+
+def load_snapshot(path: Path) -> Dict:
+    return json.loads(Path(path).read_text())
+
+
+def _cell_key(entry: Dict) -> tuple:
+    return (entry["machine"], entry["benchmark"], entry["config"])
+
+
+def _sizing_matches(current: Dict, previous: Dict) -> bool:
+    if not (current.get("matrix") and previous.get("matrix")):
+        return True  # legacy snapshots without a matrix block
+    return all(current["matrix"].get(key) == previous["matrix"].get(key)
+               for key in ("length", "warmup", "seed", "reps"))
+
+
+def comparable_cells(current: Dict, previous: Dict) -> int:
+    """Cells :func:`compare_snapshots` would actually match.
+
+    Zero means the comparison is vacuous — different sizing, or no
+    overlapping ``(machine, benchmark, config)`` cells — and callers
+    should say so rather than report "no regressions".
+    """
+    if not _sizing_matches(current, previous):
+        return 0
+    old = {_cell_key(entry): entry for entry in previous.get("entries", ())}
+    return sum(1 for entry in current.get("entries", ())
+               if old.get(_cell_key(entry), {}).get("kcps"))
+
+
+def compare_snapshots(current: Dict, previous: Dict,
+                      threshold: float = DEFAULT_THRESHOLD) -> List[Dict]:
+    """Compare matching cells; list regressions beyond *threshold*.
+
+    A cell regresses when its throughput dropped by more than
+    *threshold* (fractional): ``kcps < previous_kcps * (1 - threshold)``.
+    Cells present in only one snapshot, or run with different sizing
+    (length / warm-up / seed / reps), are skipped — they are different
+    experiments, not comparable points on the trajectory.
+    """
+    if not 0 <= threshold < 1:
+        raise ValueError(f"threshold must be in [0, 1): {threshold}")
+    if not _sizing_matches(current, previous):
+        return []
+    old = {_cell_key(entry): entry for entry in previous.get("entries", ())}
+    regressions = []
+    for entry in current.get("entries", ()):
+        before = old.get(_cell_key(entry))
+        if before is None or not before.get("kcps"):
+            continue
+        floor = before["kcps"] * (1.0 - threshold)
+        if entry["kcps"] < floor:
+            regressions.append({
+                "machine": entry["machine"],
+                "benchmark": entry["benchmark"],
+                "config": entry["config"],
+                "kcps": entry["kcps"],
+                "previous_kcps": before["kcps"],
+                "ratio": round(entry["kcps"] / before["kcps"], 3),
+                "threshold": threshold,
+            })
+    return regressions
+
+
+def render_snapshot(snapshot: Dict) -> str:
+    """Human-readable table of one snapshot's entries."""
+    lines = [f"{'machine':15s} {'benchmark':10s} {'kc/s':>10s} "
+             f"{'instr/s':>12s} {'cycles':>9s} {'median_s':>9s}"]
+    for entry in snapshot.get("entries", ()):
+        lines.append(
+            f"{entry['machine']:15s} {entry['benchmark']:10s} "
+            f"{entry['kcps']:10.1f} {entry['ips']:12.0f} "
+            f"{entry['cycles']:9d} {entry['median_s']:9.3f}")
+    return "\n".join(lines)

@@ -135,11 +135,24 @@ def apply_chaos(machine: Any, spec: ChaosSpec, strict: bool = True) -> Any:
             f"chaos kind {spec.kind!r} does not apply to "
             f"{type(machine).__name__}")
     if applied:
+        # Fault wrappers count *calls* (one per simulated cycle for
+        # queue delivery), so their trigger points are cycle-loop
+        # dependent: force the naive per-cycle loop so an injected
+        # fault fires at the same cycle on every run.
+        _disable_skip_ahead(machine)
         tracer = getattr(machine, "tracer", None)
         if tracer is not None:
             # Injection happens at build time, before cycle 0.
             tracer.instant("chaos", 0, detail=str(spec))
     return machine
+
+
+def _disable_skip_ahead(machine: Any) -> None:
+    if hasattr(machine, "skip_ahead"):
+        machine.skip_ahead = False
+    inner = getattr(machine, "_machine", None)  # CoreFusionMachine
+    if inner is not None and hasattr(inner, "skip_ahead"):
+        inner.skip_ahead = False
 
 
 def maybe_apply_env_chaos(machine: Any) -> Any:

@@ -85,3 +85,15 @@ class Watchdog:
         if not self.window:
             return False
         return cycle - self._progress_cycle > self.window
+
+    def next_expiry(self) -> int:
+        """First cycle at which :meth:`expired` would return True.
+
+        Used by the idle-cycle skip-ahead to bound a clock jump so a
+        hang is still detected at exactly the same cycle as under the
+        naive per-cycle loop.  Returns a huge sentinel when disabled
+        (compare with :data:`repro.uarch.pipeline.core.NO_EVENT`).
+        """
+        if not self.window:
+            return 1 << 62
+        return self._progress_cycle + self.window + 1

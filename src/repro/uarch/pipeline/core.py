@@ -29,6 +29,7 @@ Modelling notes / simplifications (standard for trace-driven models):
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
@@ -37,6 +38,19 @@ from ...integrity.forensics import uop_brief
 from ...isa.opcodes import OpClass
 from ..cache.hierarchy import CacheHierarchy
 from ..params import FU_POOL_OF_CLASS, CoreParams
+
+#: A cycle value no real event ever reaches (events are bounded by the
+#: machines' ``max_cycles`` safety valve, which is far smaller).
+NO_EVENT = 1 << 62
+
+#: Environment override for idle-cycle skip-ahead (``0`` disables).
+ENV_SKIP_AHEAD = "REPRO_SKIP_AHEAD"
+
+#: Issue pool per op class, indexable by the IntEnum value (hot path —
+#: avoids a dict hash per dispatched uop).
+_POOL_OF_CLASS = tuple(FU_POOL_OF_CLASS[op_class] for op_class in OpClass)
+
+
 from .uop import (
     COMMITTED,
     COMPLETED,
@@ -47,6 +61,21 @@ from .uop import (
     Uop,
     ValueTag,
 )
+
+
+def skip_ahead_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve a machine's ``skip_ahead`` setting.
+
+    ``None`` (the default everywhere) reads the ``REPRO_SKIP_AHEAD``
+    environment variable, enabled unless it is set to ``0``/``false``/
+    ``off``; an explicit boolean wins over the environment.
+    """
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(ENV_SKIP_AHEAD)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in ("0", "false", "off", "no")
 
 
 class CoreStats:
@@ -125,6 +154,11 @@ class CycleCore:
         self.on_complete = on_complete
         self.on_commit = on_commit
         self.stats = CoreStats()
+        #: Execution latency per op class, indexable by the IntEnum
+        #: value (hot path — avoids a dict hash per issued uop).
+        self._latency_of = tuple(
+            max(1, params.latencies.get(op_class, 1))
+            for op_class in OpClass)
 
         self._fetch_buffer: deque = deque()
         self._fetch_capacity = max(2 * params.fetch_width, 8)
@@ -217,8 +251,14 @@ class CycleCore:
             The uops retired by this call, oldest first.
         """
         committed: List[Uop] = []
-        width = self.params.commit_width if budget is None else budget
         rob = self._rob
+        if not rob:
+            return committed
+        width = self.params.commit_width if budget is None else budget
+        stats = self.stats
+        store_map = self._store_map
+        reg_map = self._reg_map
+        on_commit = self.on_commit
         while rob and len(committed) < width:
             head = rob[0]
             if head.state != COMPLETED or head.complete_cycle >= cycle:
@@ -229,19 +269,19 @@ class CycleCore:
             head.state = COMMITTED
             head.commit_cycle = cycle
             record = head.record
-            if record.is_memory:
+            if head.is_memory:
                 self._lsq_count -= 1
                 if record.is_store:
                     # Charge the write for statistics at retirement.
                     self.hierarchy.store(record.mem_addr, cycle)
-                    if self._store_map.get(record.mem_addr) is head:
-                        del self._store_map[record.mem_addr]
-            if record.dst is not None and self._reg_map.get(record.dst) is head:
-                del self._reg_map[record.dst]
-            self.stats.committed += 1
+                    if store_map.get(record.mem_addr) is head:
+                        del store_map[record.mem_addr]
+            if record.dst is not None and reg_map.get(record.dst) is head:
+                del reg_map[record.dst]
+            stats.committed += 1
             committed.append(head)
-            if self.on_commit is not None:
-                self.on_commit(head, cycle)
+            if on_commit is not None:
+                on_commit(head, cycle)
         return committed
 
     def phase_complete(self, cycle: int) -> List[Uop]:
@@ -264,13 +304,15 @@ class CycleCore:
         Returns:
             Number of uops issued this cycle.
         """
+        heap = self._ready_heap
+        if not heap or heap[0][0] > cycle:
+            return 0
         issued = 0
         width = self.params.issue_width
         pool_params = self.params.fu_pool
         pool_used: Dict[str, int] = {}
         cluster_used = [0] * self.num_clusters
         deferred: List = []
-        heap = self._ready_heap
 
         while heap and issued < width:
             entry = heap[0]
@@ -313,7 +355,7 @@ class CycleCore:
         elif op_class == OpClass.STORE:
             latency = 1
         else:
-            latency = max(1, self.params.latencies[op_class])
+            latency = self._latency_of[op_class]
         complete = cycle + latency
         uop.complete_cycle = complete
         heapq.heappush(self._completion_heap, (complete, uop.uid, uop))
@@ -343,26 +385,34 @@ class CycleCore:
         Returns:
             Number of uops dispatched this cycle.
         """
-        dispatched = 0
-        width = self.params.fetch_width  # dispatch width == front width
-        params = self.params
-        self._cluster_dispatched = [0] * self.num_clusters
+        buffer = self._fetch_buffer
         self._dispatch_blocked = None
-        while self._fetch_buffer and dispatched < width:
-            uop = self._fetch_buffer[0]
-            if len(self._rob) >= params.rob_entries:
-                self.stats.rob_full_stalls += 1
+        if not buffer:
+            return 0
+        dispatched = 0
+        params = self.params
+        width = params.fetch_width  # dispatch width == front width
+        rob_entries = params.rob_entries
+        iq_entries = params.iq_entries
+        lsq_entries = params.lsq_entries
+        rob = self._rob
+        stats = self.stats
+        self._cluster_dispatched = [0] * self.num_clusters
+        while buffer and dispatched < width:
+            uop = buffer[0]
+            if len(rob) >= rob_entries:
+                stats.rob_full_stalls += 1
                 self._dispatch_blocked = "rob_full"
                 break
-            if self._iq_count >= params.iq_entries:
-                self.stats.iq_full_stalls += 1
+            if self._iq_count >= iq_entries:
+                stats.iq_full_stalls += 1
                 self._dispatch_blocked = "iq_full"
                 break
-            if uop.is_memory and self._lsq_count >= params.lsq_entries:
-                self.stats.lsq_full_stalls += 1
+            if uop.is_memory and self._lsq_count >= lsq_entries:
+                stats.lsq_full_stalls += 1
                 self._dispatch_blocked = "lsq_full"
                 break
-            self._fetch_buffer.popleft()
+            buffer.popleft()
             self._dispatch_one(uop, cycle)
             dispatched += 1
         return dispatched
@@ -370,13 +420,13 @@ class CycleCore:
     def _dispatch_one(self, uop: Uop, cycle: int) -> None:
         uop.state = DISPATCHED
         uop.dispatch_cycle = cycle
-        uop.pool = FU_POOL_OF_CLASS[uop.record.op_class]
+        uop.pool = _POOL_OF_CLASS[uop.record.op_class]
         uop.cluster = self._steer(uop)
         self._rob.append(uop)
         self._iq_count += 1
         self.stats.dispatched += 1
         record = uop.record
-        if record.is_memory:
+        if uop.is_memory:
             self._lsq_count += 1
 
         pending = 0
@@ -469,30 +519,107 @@ class CycleCore:
         empty = width - committed
         if empty <= 0:
             return
+        stats.charge_slots(self.stall_blame(cycle, frontend_cause), empty)
+
+    def stall_blame(self, cycle: int, frontend_cause: str = "fetch") -> str:
+        """The cause an empty commit slot is charged to at *cycle*.
+
+        This is the blame taxonomy of :meth:`attribute_cycle` (which
+        calls it); the idle-cycle skip-ahead fast path also uses it to
+        charge a whole run of identical stalled cycles in one call.
+        """
         head = self._rob[0] if self._rob else None
         if head is None:
-            cause = frontend_cause
-        elif head.state == COMPLETED:
+            return frontend_cause
+        state = head.state
+        if state == COMPLETED:
             if head.complete_cycle >= cycle:
-                cause = "exec"  # finished this cycle; retires next
-            else:
-                cause = "intercore_wait"  # held by the global commit gate
-        elif head.state == ISSUED:
+                return "exec"  # finished this cycle; retires next
+            return "intercore_wait"  # held by the global commit gate
+        if state == ISSUED:
             latency = head.complete_cycle - head.issue_cycle
             if (head.record.is_load and not head.forwarded
                     and latency > self.params.l1d.hit_latency):
-                cause = "load_miss"
-            else:
-                cause = "exec"
-        else:  # DISPATCHED: waiting on operands or issue bandwidth
-            if any(tag.ready_cycle is None or tag.ready_cycle > cycle
-                   for tag in head.extra_deps):
-                cause = "intercore_wait"
-            elif self._dispatch_blocked is not None:
-                cause = self._dispatch_blocked
-            else:
-                cause = "exec"
-        stats.charge_slots(cause, empty)
+                return "load_miss"
+            return "exec"
+        # DISPATCHED: waiting on operands or issue bandwidth.
+        if any(tag.ready_cycle is None or tag.ready_cycle > cycle
+               for tag in head.extra_deps):
+            return "intercore_wait"
+        if self._dispatch_blocked is not None:
+            return self._dispatch_blocked
+        return "exec"
+
+    # ------------------------------------------------------------------
+    # Idle-cycle skip-ahead support
+    # ------------------------------------------------------------------
+
+    def next_event(self, cycle: int) -> int:
+        """Earliest future cycle at which this core's state (or its
+        cycle-accounting blame) can change, given that nothing happened
+        at *cycle*.
+
+        Conservative lower bound used by the machines' idle-cycle
+        skip-ahead: every cycle strictly between *cycle* and the
+        returned value is guaranteed to be an exact no-op replay of
+        *cycle* (same empty phases, same blame, same per-cycle counter
+        increments), so the clock can jump there after charging the
+        skipped cycles in bulk via :meth:`charge_idle_cycles`.
+
+        Returns :data:`NO_EVENT` when the core alone schedules nothing
+        (the machine still bounds the jump by front-end events, the
+        watchdog expiry and ``max_cycles``).
+        """
+        nxt = NO_EVENT
+        heap = self._completion_heap
+        if heap:
+            nxt = heap[0][0]
+        heap = self._ready_heap
+        if heap and heap[0][0] < nxt:
+            nxt = heap[0][0]
+        rob = self._rob
+        if rob:
+            head = rob[0]
+            state = head.state
+            if state == COMPLETED:
+                # Commit eligibility (phase_commit requires
+                # ``complete_cycle < cycle``); a head already eligible
+                # but held by an external gate schedules nothing here.
+                eligible = head.complete_cycle + 1
+                if eligible > cycle and eligible < nxt:
+                    nxt = eligible
+            elif state == DISPATCHED:
+                # Blame flips (intercore_wait -> exec/...) when a known
+                # external-value arrival time passes.
+                for tag in head.extra_deps:
+                    ready = tag.ready_cycle
+                    if ready is not None and ready > cycle and ready < nxt:
+                        nxt = ready
+        return nxt
+
+    def charge_idle_cycles(self, first: int, count: int,
+                           frontend_cause: str = "fetch") -> None:
+        """Charge *count* consecutive idle cycles starting at *first*.
+
+        Equivalent to running :meth:`phase_dispatch` (blocked) and
+        :meth:`attribute_cycle` (zero commits) once per skipped cycle:
+        the blame and the dispatch-stall cause are constant across the
+        run by :meth:`next_event`'s construction, so the per-cycle
+        counters are bulk-incremented.
+        """
+        stats = self.stats
+        if self._rob or self._fetch_buffer:
+            stats.cycles_active += count
+        stats.charge_slots(self.stall_blame(first, frontend_cause),
+                           self.params.commit_width * count)
+        if self._fetch_buffer:
+            blocked = self._dispatch_blocked
+            if blocked == "rob_full":
+                stats.rob_full_stalls += count
+            elif blocked == "iq_full":
+                stats.iq_full_stalls += count
+            elif blocked == "lsq_full":
+                stats.lsq_full_stalls += count
 
     def _steer(self, uop: Uop) -> int:
         """Cluster steering for fused (multi-cluster) operation.

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 from ...isa.program import INSTRUCTION_BYTES
 from ...trace.record import TraceRecord
 from ..branch.btb import FrontEndPredictor
-from .core import CycleCore
+from .core import NO_EVENT, CycleCore
 from .uop import COMPLETED, COMMITTED, Uop
 
 
@@ -120,6 +120,39 @@ class SelfFetchUnit:
                     self._current_line = -1
                     break
         return fetched
+
+    def next_event(self, cycle: int) -> int:
+        """Earliest future cycle the front end schedules on its own.
+
+        Part of the idle-cycle skip-ahead contract (see
+        :meth:`CycleCore.next_event`): given that :meth:`phase_fetch`
+        made no progress at *cycle*, every cycle before the returned one
+        replays identically.  An unresolved mispredict resolves at a
+        core completion event, so the core's own ``next_event`` bounds
+        it; a resolved one resumes at a known redirect cycle; an I-cache
+        fill arrives at a known cycle.  Anything else (core fetch buffer
+        full, trace drained) is unblocked only by core-side events.
+        """
+        stalled = self._stall_on
+        if stalled is not None:
+            if stalled.state in (COMPLETED, COMMITTED):
+                resume = (stalled.complete_cycle
+                          + self.core.params.mispredict_penalty)
+                return resume if resume > cycle else cycle + 1
+            return NO_EVENT
+        if self._cursor < len(self.trace) and cycle < self._icache_ready:
+            return self._icache_ready
+        return NO_EVENT
+
+    def charge_idle_cycles(self, count: int) -> None:
+        """Replay *count* skipped idle cycles' front-end counters.
+
+        :meth:`phase_fetch` increments ``mispredict_stalls`` once per
+        stalled cycle while a redirect is pending; nothing else in the
+        front end counts per cycle.
+        """
+        if self._stall_on is not None:
+            self.mispredict_stalls += count
 
     def _make_uop(self, record: TraceRecord) -> Uop:
         uop = Uop(record, self._next_uid)

@@ -21,7 +21,7 @@ from ..branch.btb import FrontEndPredictor
 from ..cache.hierarchy import CacheHierarchy
 from ..params import CoreParams
 from ..warmup import split_warmup, warm_state
-from .core import CycleCore
+from .core import NO_EVENT, CycleCore, skip_ahead_enabled
 from .fetch import SelfFetchUnit
 from .uop import Uop
 
@@ -43,6 +43,15 @@ class SingleCoreMachine:
         watchdog_window: Forward-progress hang window in cycles
             (``None`` = environment default, ``0`` = disabled; see
             :mod:`repro.integrity.watchdog`).
+        skip_ahead: Idle-cycle skip-ahead: when a cycle makes no
+            progress anywhere (nothing retired, completed, issued,
+            dispatched or fetched), jump the clock straight to the next
+            scheduled event (execution completion, redirect resume,
+            I-cache fill, watchdog expiry, ``max_cycles``), charging
+            the skipped cycles to the same CPI-stack bucket the naive
+            loop would have — results are bit-identical either way.
+            ``None`` (default) follows the ``REPRO_SKIP_AHEAD``
+            environment variable (on unless set to ``0``).
         commit_hook: Optional observer called as ``hook(uop, cycle)``
             for every architecturally retired uop, in retirement order.
             ``None`` (the default) costs nothing on the hot path; the
@@ -66,6 +75,7 @@ class SingleCoreMachine:
                  machine_label: str = "single",
                  max_cycles: int = 200_000_000,
                  watchdog_window: Optional[int] = None,
+                 skip_ahead: Optional[bool] = None,
                  commit_hook: Optional[Callable[[Uop, int], None]] = None,
                  tracer=None, metrics=None):
         self.params = params
@@ -74,6 +84,11 @@ class SingleCoreMachine:
         self.metrics = metrics
         self.machine_label = machine_label
         self.max_cycles = max_cycles
+        self.skip_ahead = skip_ahead_enabled(skip_ahead)
+        #: Diagnostic: cycles the last run bridged via skip-ahead
+        #: (deliberately *not* part of the :class:`SimResult`, which
+        #: must be bit-identical with and without the fast path).
+        self.skipped_cycles = 0
         self.hierarchy = CacheHierarchy(params)
         if metrics is not None:
             metrics.attach(self.hierarchy)
@@ -126,8 +141,11 @@ class SingleCoreMachine:
         watchdog = self.watchdog
         watchdog.reset()
         self._recent_commits.clear()
+        skip = self.skip_ahead
+        self.skipped_cycles = 0
+        max_cycles = self.max_cycles
         while committed < total:
-            if cycle > self.max_cycles:
+            if cycle > max_cycles:
                 if tracer is not None:
                     tracer.instant("watchdog", cycle,
                                    detail=f"max_cycles {self.max_cycles} "
@@ -165,13 +183,35 @@ class SingleCoreMachine:
                         self.commit_hook(uop, cycle)
                 if tracer is not None:
                     tracer.commits(retired_uops, cycle)
-            core.phase_complete(cycle)
-            core.phase_issue(cycle)
-            core.phase_dispatch(cycle)
-            fetch.phase_fetch(cycle)
-            core.attribute_cycle(cycle, retired,
-                                 frontend_cause=fetch.stall_cause(cycle))
+            completed = core.phase_complete(cycle)
+            issued = core.phase_issue(cycle)
+            dispatched = core.phase_dispatch(cycle)
+            fetched = fetch.phase_fetch(cycle)
+            cause = fetch.stall_cause(cycle)
+            core.attribute_cycle(cycle, retired, frontend_cause=cause)
             cycle += 1
+            if (skip and not retired and not completed and not issued
+                    and not dispatched and not fetched):
+                # Stalled everywhere: every cycle until the next
+                # scheduled event replays this one exactly, so charge
+                # them in bulk and jump the clock (bit-identical to the
+                # naive loop by construction — see CycleCore.next_event).
+                target = core.next_event(cycle - 1)
+                bound = fetch.next_event(cycle - 1)
+                if bound < target:
+                    target = bound
+                bound = watchdog.next_expiry()
+                if bound < target:
+                    target = bound
+                if max_cycles + 1 < target:
+                    target = max_cycles + 1
+                if target > cycle:
+                    count = target - cycle
+                    core.charge_idle_cycles(cycle, count,
+                                            frontend_cause=cause)
+                    fetch.charge_idle_cycles(count)
+                    self.skipped_cycles += count
+                    cycle = target
         try:
             core.drain_check()
         except SimulationError as error:

@@ -97,7 +97,7 @@ class Uop:
         "state", "pending", "operand_ready", "consumers",
         "fetch_cycle", "dispatch_cycle", "ready_cycle", "issue_cycle",
         "complete_cycle", "commit_cycle", "forwarded", "produce_tags",
-        "extra_deps", "predicted_wrong",
+        "extra_deps", "predicted_wrong", "is_memory",
     )
 
     def __init__(self, record: TraceRecord, uid: int,
@@ -105,6 +105,9 @@ class Uop:
         self.record = record
         self.uid = uid
         self.seq = record.seq
+        # Cached off the record: read once per dispatch/commit/squash
+        # per cycle on the hot path (a double property hop otherwise).
+        self.is_memory = record.is_memory
         self.replica = replica
         self.cluster = 0
         self.core_id = core_id
@@ -123,10 +126,6 @@ class Uop:
         self.produce_tags: List[ValueTag] = []  # satisfied when completed
         self.extra_deps: List[ValueTag] = []    # attached before feeding
         self.predicted_wrong = False    # front end mispredicted this uop
-
-    @property
-    def is_memory(self) -> bool:
-        return self.record.is_memory
 
     def __repr__(self) -> str:
         return (f"<Uop uid={self.uid} seq={self.seq} "

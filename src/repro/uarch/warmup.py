@@ -71,7 +71,9 @@ def split_warmup(records: Sequence[TraceRecord],
     """
     if warmup < 0:
         raise ValueError(f"negative warmup: {warmup}")
-    if warmup >= len(records) and len(records) > 0:
+    if warmup and warmup >= len(records):
+        # An empty trace must raise too — the old `len(records) > 0`
+        # guard silently returned ([], []) for it.
         raise ValueError(
             f"warmup {warmup} consumes the whole {len(records)}-record trace")
     if warmup == 0:

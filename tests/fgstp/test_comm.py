@@ -132,3 +132,29 @@ def test_deliver_skips_already_satisfied_tag():
     tag.satisfy(0)
     woken = queue.deliver(1)
     assert woken == []  # no double wake
+
+
+def test_snapshot_bounded_under_deep_backlog():
+    """snapshot() must stay O(limit): it used to materialise the whole
+    FIFO (`list(fifo)[:limit]`) which froze crash forensics on runs
+    with hundreds of thousands of queued values."""
+    queue = InterCoreQueue(latency=5, bandwidth=1)
+    for seq in range(200_000):
+        queue.send(ValueTag(f"t{seq}"), seq)
+    snap = queue.snapshot(limit=4)
+    assert snap["pending"] == 200_000
+    assert len(snap["head"]) == 4
+    assert [item["tag"] for item in snap["head"]] == [
+        "t0", "t1", "t2", "t3"]
+    # Head entries report eligibility in FIFO (send) order.
+    assert snap["head"][0]["eligible"] == 5
+
+
+def test_snapshot_limit_exceeding_backlog():
+    queue = InterCoreQueue(latency=2, bandwidth=1, name="q0to1")
+    queue.send(ValueTag("only"), 7)
+    snap = queue.snapshot(limit=8)
+    assert snap["name"] == "q0to1"
+    assert len(snap["head"]) == 1
+    assert snap["head"][0] == {"eligible": 9, "tag": "only",
+                               "satisfied": False, "consumers": 0}

@@ -1,0 +1,224 @@
+"""Idle-cycle skip-ahead must be invisible except in wall-clock time.
+
+Every test here compares a run with skip-ahead enabled against a naive
+per-cycle run of the same trace on the same machine and requires the
+full :class:`repro.stats.result.SimResult` to be **bit-identical**
+(``as_dict()`` compared through canonical JSON).  The suite-wide
+``REPRO_CPISTACK_CHECK=1`` (set in ``tests/conftest.py``) means every
+pair also re-proves the CPI-stack ledger invariant on both paths, i.e.
+bulk-charged skipped cycles land in the same buckets as the per-cycle
+charges they replace.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fgstp.params import FgStpParams
+from repro.harness.runners import MACHINES, build_machine
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+from repro.uarch.params import core_config, small_core_config
+from repro.uarch.pipeline.core import ENV_SKIP_AHEAD, skip_ahead_enabled
+from repro.workloads.generator import generate_trace
+
+
+def _run_pair(machine_name, trace, base=None, warmup=0):
+    """Run *trace* naively and with skip-ahead; return both results."""
+    base = base or small_core_config()
+    naive = build_machine(machine_name, base, FgStpParams(),
+                          skip_ahead=False)
+    fast = build_machine(machine_name, base, FgStpParams(),
+                         skip_ahead=True)
+    result_naive = naive.run(trace, workload="skiptest", warmup=warmup)
+    result_fast = fast.run(trace, workload="skiptest", warmup=warmup)
+    return result_naive, result_fast, fast
+
+
+def _canon(result):
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------
+# Flag resolution
+# ---------------------------------------------------------------------
+
+def test_skip_ahead_default_on(monkeypatch):
+    monkeypatch.delenv(ENV_SKIP_AHEAD, raising=False)
+    assert skip_ahead_enabled() is True
+
+
+@pytest.mark.parametrize("raw", ["0", "false", "OFF", " no "])
+def test_skip_ahead_env_disables(monkeypatch, raw):
+    monkeypatch.setenv(ENV_SKIP_AHEAD, raw)
+    assert skip_ahead_enabled() is False
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "on", "anything"])
+def test_skip_ahead_env_enables(monkeypatch, raw):
+    monkeypatch.setenv(ENV_SKIP_AHEAD, raw)
+    assert skip_ahead_enabled() is True
+
+
+def test_explicit_flag_beats_env(monkeypatch):
+    monkeypatch.setenv(ENV_SKIP_AHEAD, "0")
+    assert skip_ahead_enabled(True) is True
+    monkeypatch.delenv(ENV_SKIP_AHEAD)
+    assert skip_ahead_enabled(False) is False
+
+
+# ---------------------------------------------------------------------
+# Bit-identity: pinned workloads, every machine
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("workload", ["gcc", "mcf", "milc"])
+def test_pinned_workloads_bit_identical(machine_name, workload):
+    trace = generate_trace(workload, 3000, 7)
+    base = core_config("medium")
+    naive, fast, machine = _run_pair(machine_name, trace, base=base,
+                                     warmup=800)
+    assert _canon(naive) == _canon(fast)
+
+
+def test_skip_actually_skips_on_memory_bound_run():
+    """mcf on the medium config stalls on DRAM: the fast path must
+    actually exercise the jump (otherwise identity is vacuous)."""
+    trace = generate_trace("mcf", 3000, 7)
+    naive, fast, machine = _run_pair("single", trace,
+                                     base=core_config("medium"))
+    assert _canon(naive) == _canon(fast)
+    assert machine.skipped_cycles > 0
+    assert machine.skipped_cycles < naive.cycles
+
+
+def test_skipped_cycles_not_in_result_extra():
+    """skipped_cycles is host-side telemetry: leaking it into SimResult
+    would break bit-identity with naive runs and stale result caches."""
+    trace = generate_trace("mcf", 1500, 3)
+    _, fast, machine = _run_pair("single", trace,
+                                 base=core_config("medium"))
+    assert machine.skipped_cycles > 0
+    assert "skipped_cycles" not in fast.extra
+    assert "skipped_cycles" not in fast.as_dict().get("extra", {})
+
+
+# ---------------------------------------------------------------------
+# Bit-identity: random programs (hypothesis), every machine
+# ---------------------------------------------------------------------
+
+_COMPUTE_CLASSES = [OpClass.IALU, OpClass.IMUL, OpClass.IDIV,
+                    OpClass.FADD, OpClass.FMUL, OpClass.FDIV]
+
+
+@st.composite
+def small_programs(draw, max_len=80):
+    """Random structurally valid traces (same shape as the fuzzers')."""
+    length = draw(st.integers(min_value=0, max_value=max_len))
+    records = []
+    for seq in range(length):
+        kind = draw(st.sampled_from(["comp", "load", "store", "branch"]))
+        pc = draw(st.integers(min_value=0, max_value=120))
+        if kind == "comp":
+            records.append(TraceRecord(
+                seq, pc, draw(st.sampled_from(_COMPUTE_CLASSES)),
+                draw(st.integers(min_value=1, max_value=40)),
+                tuple(draw(st.lists(
+                    st.integers(min_value=1, max_value=40),
+                    max_size=2)))))
+        elif kind == "load":
+            records.append(TraceRecord(
+                seq, pc, OpClass.LOAD,
+                draw(st.integers(min_value=1, max_value=40)),
+                (draw(st.integers(min_value=1, max_value=40)),),
+                mem_addr=draw(
+                    st.integers(min_value=0, max_value=1 << 18)) * 8,
+                mem_size=8))
+        elif kind == "store":
+            records.append(TraceRecord(
+                seq, pc, OpClass.STORE, None,
+                (draw(st.integers(min_value=1, max_value=40)),
+                 draw(st.integers(min_value=1, max_value=40))),
+                mem_addr=draw(
+                    st.integers(min_value=0, max_value=1 << 18)) * 8,
+                mem_size=8))
+        else:
+            taken = draw(st.booleans())
+            records.append(TraceRecord(
+                seq, pc, OpClass.BRANCH, None, (1, 2), taken=taken,
+                target=draw(st.integers(min_value=0, max_value=120))
+                if taken else None))
+    return records
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@given(records=small_programs())
+@settings(max_examples=12, deadline=None)
+def test_random_programs_bit_identical(machine_name, records):
+    naive, fast, _ = _run_pair(machine_name, records)
+    assert naive.cycles == fast.cycles
+    assert _canon(naive) == _canon(fast)
+
+
+@given(records=small_programs(max_len=50),
+       benchmark_seed=st.integers(min_value=0, max_value=999))
+@settings(max_examples=10, deadline=None)
+def test_random_generated_traces_bit_identical_fgstp(records,
+                                                     benchmark_seed):
+    """Mix structured generator traces in as well — their loop/stride
+    patterns drive the partitioner differently than pure noise."""
+    trace = generate_trace("mcf", max(1, len(records)),
+                           benchmark_seed)
+    naive, fast, _ = _run_pair("fgstp", trace)
+    assert _canon(naive) == _canon(fast)
+
+
+# ---------------------------------------------------------------------
+# Interaction with the rest of the integrity layer
+# ---------------------------------------------------------------------
+
+def test_env_var_path_matches_explicit_flag(monkeypatch):
+    """Running with REPRO_SKIP_AHEAD=0 in the env equals skip_ahead=False."""
+    trace = generate_trace("gcc", 1200, 5)
+    base = small_core_config()
+    monkeypatch.setenv(ENV_SKIP_AHEAD, "0")
+    via_env = build_machine("single", base, FgStpParams())
+    assert via_env.skip_ahead is False
+    monkeypatch.delenv(ENV_SKIP_AHEAD)
+    via_default = build_machine("single", base, FgStpParams())
+    assert via_default.skip_ahead is True
+    assert (_canon(via_env.run(trace, workload="w"))
+            == _canon(via_default.run(trace, workload="w")))
+
+
+def test_corefusion_delegates_skip_flag():
+    base = small_core_config()
+    machine = build_machine("corefusion", base, FgStpParams(),
+                            skip_ahead=True)
+    assert machine.skip_ahead is True
+    machine.skip_ahead = False
+    assert machine.skip_ahead is False
+    assert machine.skipped_cycles == 0
+
+
+def test_watchdog_hang_detection_survives_skip():
+    """Skip-ahead must never jump past a watchdog expiry: a machine that
+    hangs must still raise at the same cycle as the naive run."""
+    from repro.integrity.errors import SimulationError
+    from repro.uarch.pipeline.machine import SingleCoreMachine
+
+    trace = generate_trace("mcf", 800, 11)
+    base = core_config("medium")
+    outcomes = []
+    for skip in (False, True):
+        machine = SingleCoreMachine(base, skip_ahead=skip,
+                                    max_cycles=200)
+        try:
+            machine.run(trace, workload="hang")
+            outcomes.append(("ok", None))
+        except SimulationError as exc:
+            outcomes.append((type(exc).__name__, str(exc)))
+    assert outcomes[0] == outcomes[1]

@@ -50,3 +50,22 @@ def test_fmadd_fixture_declares_the_accumulator_dependence():
     assert len(chain) == 3, "fmadd must declare dst among its srcs"
     # And the accumulated value is architecturally right: 1 + 3*(2*3).
     assert golden.events[-3].dst_value == pytest.approx(19.0)
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("machine", MACHINES)
+def test_fixture_oracle_identical_under_skip_ahead(path, machine):
+    """Idle-cycle skip-ahead must be invisible to the oracle: fixture
+    replays with the fast path on and off produce bit-identical
+    results, retirement checks included.  (Ten 20-program fuzz
+    campaigns across all machines ran clean over the skip path before
+    this pin; this keeps the combination exercised deterministically.)"""
+    golden = _golden(path)
+    results = [
+        run_trace_under_oracle(machine, golden.records,
+                               small_core_config(), golden=golden,
+                               workload=path.stem, skip_ahead=skip)
+        for skip in (False, True)
+    ]
+    assert results[0].as_dict() == results[1].as_dict()
+    assert results[1].extra["oracle"]["checked"] == len(golden)

@@ -109,3 +109,14 @@ def test_warm_state_trains_predictor_and_resets_stats():
             correct += 1
         predictor.update(record)
     assert correct / len(controls) > 0.7
+
+
+def test_split_warmup_empty_trace_with_warmup_raises():
+    """Positive warm-up on an empty trace leaves nothing to measure —
+    it must raise like any other all-consuming warm-up, not silently
+    return ([], [])."""
+    with pytest.raises(ValueError):
+        split_warmup([], 10)
+    # Empty trace with zero warm-up stays valid (nothing to warm).
+    prefix, suffix = split_warmup([], 0)
+    assert prefix == [] and suffix == []

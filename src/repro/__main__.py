@@ -9,6 +9,11 @@ Commands:
   machines, with the ledger invariant checked.
 * ``sweep`` — fan a benchmark × seed × machine × config matrix across
   worker processes (disk-backed cache, retries, progress metrics).
+  Cached sweeps are journaled *campaigns*: SIGINT/SIGTERM stop them
+  cleanly with completed results persisted, ``--resume <id>`` finishes
+  the remainder without redoing finished jobs, ``--stuck-after`` /
+  ``--rss-limit-mb`` bound wedged and runaway jobs, and
+  ``--checkpoint-interval`` turns on machine-level checkpointing.
 * ``report`` — emit the full markdown experiment report (stdout).
 * ``validate`` — run the cross-model invariant battery.
 * ``forensics`` — render a crash dump (latest by default).
@@ -203,13 +208,88 @@ def cmd_profile(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    import signal
+    import threading
+
+    from .ckpt.manager import ENV_INTERVAL
+    from .harness.campaign import (Campaign, CampaignError,
+                                   auto_campaign_id)
+
+    cache_root = None if args.no_cache else args.cache_dir
+
+    campaign = None
+    if args.resume:
+        # Resuming: the manifest's recipe, not the command line, is
+        # the source of truth for everything that determines results.
+        if args.campaign:
+            print("--resume and --campaign are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        if cache_root is None:
+            print("--resume needs the disk cache (drop --no-cache)",
+                  file=sys.stderr)
+            return 2
+        try:
+            campaign = Campaign.load(args.resume, cache_root)
+            recipe = campaign.recipe
+        except CampaignError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        args.benchmarks = recipe.get("benchmarks") or None
+        args.seeds = recipe.get("seeds", args.seeds)
+        args.machines = recipe.get("machines", args.machines)
+        args.configs = recipe.get("configs", args.configs)
+        args.length = recipe.get("length", args.length)
+        args.warmup = recipe.get("warmup", args.warmup)
+        args.store = recipe.get("store", args.store)
+        args.oracle_sample = recipe.get("oracle_sample",
+                                        args.oracle_sample)
+        args.trace_sample = recipe.get("trace_sample", args.trace_sample)
+        if args.checkpoint_interval is None:
+            args.checkpoint_interval = recipe.get("checkpoint_interval")
+
     benchmarks = args.benchmarks or suite_names("all")
     unknown = [name for name in benchmarks if name not in PROFILES]
     if unknown:
         print(f"unknown benchmarks {unknown}; see `list`", file=sys.stderr)
         return 2
 
+    if args.checkpoint_interval is not None:
+        # Through the environment so pool workers inherit it and every
+        # machine they build checkpoints at this cadence.
+        os.environ[ENV_INTERVAL] = str(args.checkpoint_interval)
+
+    if campaign is None and cache_root is not None:
+        campaign_id = args.campaign or auto_campaign_id()
+        recipe = {
+            "benchmarks": list(benchmarks),
+            "seeds": list(args.seeds),
+            "machines": list(args.machines),
+            "configs": list(args.configs),
+            "length": args.length,
+            "warmup": args.warmup,
+            "store": args.store,
+            "oracle_sample": args.oracle_sample,
+            "trace_sample": args.trace_sample,
+            "checkpoint_interval": args.checkpoint_interval,
+        }
+        try:
+            campaign = Campaign.create(campaign_id, recipe, cache_root)
+        except CampaignError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    elif campaign is None and args.campaign:
+        print("--campaign needs the disk cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+
+    stop_event = threading.Event()
+
     def progress(event, message):
+        if campaign is not None and event in (
+                "job-done", "job-failed", "job-retry", "job-preempted",
+                "job-timeout-unenforced"):
+            campaign.log(event, message=message)
         if not args.quiet:
             print(f"[{event}] {message}", file=sys.stderr)
 
@@ -217,15 +297,75 @@ def cmd_sweep(args) -> int:
         max_workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
-        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_dir=cache_root,
         progress=progress,
         oracle_sample=args.oracle_sample,
-        trace_sample=args.trace_sample)
+        trace_sample=args.trace_sample,
+        stop_event=stop_event,
+        stuck_after=args.stuck_after,
+        rss_limit_mb=args.rss_limit_mb)
     jobs = matrix_jobs(benchmarks=benchmarks, seeds=args.seeds,
                        machines=args.machines, configs=args.configs,
                        trace_length=args.length, warmup=args.warmup)
-    outcome = engine.run(jobs)
+
+    if campaign is not None:
+        campaign.log("campaign-start", attempt=campaign.attempts() + 1,
+                     jobs=len(jobs))
+        if not args.quiet:
+            print(f"[campaign] {campaign.id} "
+                  f"({len(jobs)} job(s); journal: "
+                  f"{campaign.journal_path})", file=sys.stderr)
+
+    def on_signal(signum, _frame):
+        # First signal: cooperative stop — the engine flushes every
+        # completed result to the cache and returns, so a later
+        # --resume never redoes finished work.
+        stop_event.set()
+        print(f"[campaign] caught signal {signum}; stopping after "
+              f"in-flight work, completed results are kept",
+              file=sys.stderr)
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum, on_signal)
+        except (ValueError, OSError, AttributeError):
+            pass
+    try:
+        outcome = engine.run(jobs)
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+    metrics = outcome.metrics
+    if metrics.interrupted:
+        if campaign is not None:
+            campaign.log("campaign-interrupted",
+                         jobs_done=metrics.jobs_done,
+                         jobs_failed=metrics.jobs_failed,
+                         result_cache_hits=metrics.result_cache_hits,
+                         jobs_total=metrics.jobs_total)
+            print(f"sweep interrupted; completed results are cached.\n"
+                  f"resume with: python -m repro sweep "
+                  f"--resume {campaign.id} --cache-dir {cache_root}",
+                  file=sys.stderr)
+        else:
+            print("sweep interrupted (no campaign journal: disk cache "
+                  "disabled); completed work was not persisted",
+                  file=sys.stderr)
+        return 1
+
     print(sweep_to_text(outcome))
+    if campaign is not None:
+        campaign.log("campaign-complete",
+                     jobs_done=metrics.jobs_done,
+                     jobs_failed=metrics.jobs_failed,
+                     result_cache_hits=metrics.result_cache_hits,
+                     preempted=metrics.preempted)
+        campaign.write_results(outcome.results, outcome.jobs)
     if args.store:
         store = ResultStore(args.store)
         store.append_many(
@@ -540,7 +680,8 @@ def cmd_forensics(args) -> int:
 
 
 def cmd_minimize(args) -> int:
-    from .integrity.minimize import (minimize_failure, replay_run_fn,
+    from .integrity.minimize import (checkpoint_suffix, failure_class_of,
+                                     minimize_failure, replay_run_fn,
                                      trace_from_context)
     from .trace.io import write_trace
 
@@ -560,9 +701,26 @@ def cmd_minimize(args) -> int:
               file=sys.stderr)
         return 2
     failure_class = dump.get("failure_class") or None
+    run_fn = replay_run_fn(context)
+    suffix = checkpoint_suffix(trace, context)
+    if suffix is not None:
+        # The dump is anchored to a checkpoint: everything before the
+        # snapshot provably ran clean, so probe the suffix first and
+        # only fall back to the full trace when the failure does not
+        # reproduce from it (e.g. the trigger straddles the cut).
+        error = failure_class_of(run_fn, suffix)
+        if error is not None and (failure_class is None
+                                  or error.failure_class == failure_class):
+            print(f"checkpoint anchor at committed="
+                  f"{context.get('checkpoint_committed')}: starting from "
+                  f"the {len(suffix)}-record post-checkpoint suffix")
+            trace = suffix
+        else:
+            print("checkpoint anchor did not reproduce the failure; "
+                  "falling back to the full trace")
     print(f"minimizing {len(trace)}-record trace preserving "
           f"{failure_class or 'any failure class'}...")
-    result = minimize_failure(trace, replay_run_fn(context),
+    result = minimize_failure(trace, run_fn,
                               failure_class=failure_class,
                               max_tests=args.max_tests)
     if not result.reproduced:
@@ -658,6 +816,30 @@ def main(argv=None) -> int:
                                    "under <cache-dir>/traces/; "
                                    "deterministic per-job selection; "
                                    "default 0)")
+    sweep_parser.add_argument("--campaign", default=None, metavar="ID",
+                              help="campaign id for the write-ahead "
+                                   "journal under <cache-dir>/campaigns/ "
+                                   "(default: auto-generated)")
+    sweep_parser.add_argument("--resume", default=None, metavar="ID",
+                              help="resume an interrupted campaign: "
+                                   "rebuild its recipe, skip every "
+                                   "already-cached job, finish the rest")
+    sweep_parser.add_argument("--stuck-after", type=float, default=None,
+                              metavar="SECONDS",
+                              help="kill and requeue a pool worker whose "
+                                   "heartbeat goes silent this long "
+                                   "(default: no preemption)")
+    sweep_parser.add_argument("--rss-limit-mb", type=int, default=None,
+                              metavar="MIB",
+                              help="per-job address-space budget; "
+                                   "overruns fail structurally instead "
+                                   "of OOM-killing the host")
+    sweep_parser.add_argument("--checkpoint-interval", type=int,
+                              default=None, metavar="COMMITS",
+                              help="checkpoint machines every N committed "
+                                   "instructions (sets "
+                                   "REPRO_CHECKPOINT_INTERVAL for "
+                                   "workers; 0 = off)")
     _add_sizing(sweep_parser)
 
     report_parser = sub.add_parser("report",

@@ -1,0 +1,57 @@
+"""Crash-safe checkpoint/restore for all simulated machines.
+
+The subsystem has three layers:
+
+* :mod:`repro.ckpt.state` — the serialized snapshot itself
+  (:class:`MachineCheckpoint`), trace fingerprinting, and the
+  checkpoint-specific error hierarchy.
+* :mod:`repro.ckpt.store` — the on-disk ``repro-ckpt-v1`` format:
+  sha256-checksummed files under ``.repro_cache/checkpoints/`` with
+  quarantine-on-corruption semantics mirroring the result cache.
+* :mod:`repro.ckpt.manager` — the :class:`Checkpointer` that machines
+  consult at quiesced commit boundaries, driven by
+  ``REPRO_CHECKPOINT_INTERVAL`` (0 = off; off by default so tier-1
+  stays fast).
+
+The hard invariant: restoring a mid-run checkpoint and resuming is
+bit-identical to a straight-through run — same final stats, CPI-stack
+ledger, and commit stream.
+"""
+
+from .state import (
+    CheckpointCorruption,
+    CheckpointError,
+    CheckpointMismatch,
+    MachineCheckpoint,
+    trace_fingerprint,
+)
+from .store import (
+    CHECKPOINT_FORMAT,
+    DEFAULT_CHECKPOINT_DIR,
+    CheckpointStore,
+    run_key,
+)
+from .manager import (
+    ENV_INTERVAL,
+    Checkpointer,
+    heartbeat,
+    resolve_interval,
+    set_heartbeat,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "DEFAULT_CHECKPOINT_DIR",
+    "ENV_INTERVAL",
+    "CheckpointCorruption",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "Checkpointer",
+    "CheckpointStore",
+    "MachineCheckpoint",
+    "heartbeat",
+    "resolve_interval",
+    "run_key",
+    "set_heartbeat",
+    "trace_fingerprint",
+]

@@ -1,0 +1,130 @@
+"""Machine checkpoint payloads and trace fingerprinting.
+
+A checkpoint is captured at a *quiesced commit boundary*: the top of a
+machine's run loop, where no phase is mid-flight and the committed
+instruction count fully describes progress.  The machine pickles its
+dynamic state into one blob (one ``pickle.dumps`` call, so shared
+object identity — core↔hierarchy links, value-tag consumer graphs,
+heap tuples — survives round-tripping) and wraps it in a
+:class:`MachineCheckpoint` carrying enough metadata to refuse a restore
+into the wrong machine, trace, or configuration.
+
+Fingerprints cover the *original* full trace (before the warmup split)
+so the harness can compute a checkpoint's identity without re-running
+the split.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint/restore failures."""
+
+
+class CheckpointCorruption(CheckpointError):
+    """A checkpoint file or payload failed integrity checks."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """A checkpoint does not belong to this machine/trace/config."""
+
+
+def trace_fingerprint(trace: Sequence) -> str:
+    """Stable sha256 fingerprint of a trace (full, pre-warmup-split).
+
+    Hashes the fields of every record rather than pickling, so the
+    fingerprint is insensitive to object identity and pickle protocol.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(len(trace)).encode("ascii"))
+    for record in trace:
+        digest.update(
+            (
+                f"|{record.seq},{record.pc},{record.op_class.name},"
+                f"{record.dst},{','.join(map(str, record.srcs))},"
+                f"{record.mem_addr},{record.mem_size},{record.taken},"
+                f"{record.target}"
+            ).encode("ascii")
+        )
+    return digest.hexdigest()
+
+
+@dataclass
+class MachineCheckpoint:
+    """One serialized machine snapshot plus identifying metadata.
+
+    Attributes:
+        machine: Machine label (``single``/``corefusion``/``fgstp``/
+            ``fgstp-adaptive``).
+        workload: Workload name the run was started with.
+        warmup: Warmup instruction count of the run.
+        trace_fingerprint: Fingerprint of the original full trace.
+        params_key: Machine-specific configuration key
+            (:meth:`checkpoint_params_key`); restores refuse mismatches.
+        cycle: Simulated cycle at capture.
+        committed: Measured (post-warmup) instructions committed.
+        payload: Pickled dynamic state, machine-defined.
+    """
+
+    machine: str
+    workload: str
+    warmup: int
+    trace_fingerprint: str
+    params_key: str
+    cycle: int
+    committed: int
+    payload: bytes
+
+    def meta(self) -> dict:
+        """JSON-safe metadata (everything but the pickle payload)."""
+        return {
+            "machine": self.machine,
+            "workload": self.workload,
+            "warmup": self.warmup,
+            "trace_fingerprint": self.trace_fingerprint,
+            "params_key": self.params_key,
+            "cycle": self.cycle,
+            "committed": self.committed,
+        }
+
+    def validate_for(self, machine: str, fingerprint: str, warmup: int,
+                     params_key: str) -> None:
+        """Raise :class:`CheckpointMismatch` unless this checkpoint
+        belongs to the given machine, trace, and configuration."""
+        if self.machine != machine:
+            raise CheckpointMismatch(
+                f"checkpoint is for machine {self.machine!r}, "
+                f"not {machine!r}")
+        if self.trace_fingerprint != fingerprint:
+            raise CheckpointMismatch(
+                "checkpoint trace fingerprint does not match this trace")
+        if self.warmup != warmup:
+            raise CheckpointMismatch(
+                f"checkpoint warmup {self.warmup} != run warmup {warmup}")
+        if self.params_key != params_key:
+            raise CheckpointMismatch(
+                "checkpoint was taken under a different configuration")
+
+
+def dumps_state(state: dict) -> bytes:
+    """Pickle a machine's dynamic-state dict into a payload blob."""
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_state(payload: bytes) -> dict:
+    """Unpickle a payload blob; corruption raises
+    :class:`CheckpointCorruption` (e.g. version drift past the sha)."""
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise CheckpointCorruption(
+            f"checkpoint payload failed to deserialize: {exc}") from exc
+    if not isinstance(state, dict):
+        raise CheckpointCorruption(
+            f"checkpoint payload is {type(state).__name__}, expected dict")
+    return state

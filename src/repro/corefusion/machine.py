@@ -127,7 +127,9 @@ class CoreFusionMachine:
                  max_cycles: int = 200_000_000,
                  watchdog_window: Optional[int] = None,
                  skip_ahead: Optional[bool] = None,
-                 commit_hook=None, tracer=None, metrics=None):
+                 commit_hook=None, tracer=None, metrics=None,
+                 checkpoint_interval: Optional[int] = None,
+                 checkpoint_sink=None):
         self.base = base
         self.tracer = tracer
         self.metrics = metrics
@@ -152,7 +154,9 @@ class CoreFusionMachine:
             watchdog_window=watchdog_window,
             skip_ahead=skip_ahead,
             commit_hook=commit_hook,
-            tracer=tracer, metrics=metrics)
+            tracer=tracer, metrics=metrics,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_sink=checkpoint_sink)
 
     @property
     def skip_ahead(self) -> bool:
@@ -172,10 +176,32 @@ class CoreFusionMachine:
         """The fused machine's (banked, doubled) cache hierarchy."""
         return self._machine.hierarchy
 
+    @property
+    def checkpoint_interval(self):
+        return self._machine.checkpoint_interval
+
+    @checkpoint_interval.setter
+    def checkpoint_interval(self, value) -> None:
+        self._machine.checkpoint_interval = value
+
+    @property
+    def checkpoint_sink(self):
+        return self._machine.checkpoint_sink
+
+    @checkpoint_sink.setter
+    def checkpoint_sink(self, value) -> None:
+        self._machine.checkpoint_sink = value
+
+    def checkpoint_params_key(self) -> str:
+        """Configuration identity — the fused machine's, since that is
+        what actually checkpoints."""
+        return self._machine.checkpoint_params_key()
+
     def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
-            warmup: int = 0) -> SimResult:
+            warmup: int = 0, resume_from=None) -> SimResult:
         """Simulate *trace* on the fused pair."""
-        result = self._machine.run(trace, workload=workload, warmup=warmup)
+        result = self._machine.run(trace, workload=workload, warmup=warmup,
+                                   resume_from=resume_from)
         result.config = self.base.name
         result.extra["fusion"] = {
             "frontend_overhead": self.frontend_overhead,

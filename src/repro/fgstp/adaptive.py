@@ -16,6 +16,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..ckpt.manager import Checkpointer
+from ..ckpt.state import (CheckpointCorruption, MachineCheckpoint,
+                          dumps_state, loads_state, trace_fingerprint)
+from ..integrity.errors import SimulationError
 from ..stats.cpistack import CPIStack, cpistack_of, maybe_validate
 from ..stats.result import SimResult
 from ..trace.record import TraceRecord
@@ -92,7 +96,11 @@ class AdaptiveFgStpMachine:
                  reconfigure_penalty: int = 200,
                  watchdog_window: Optional[int] = None,
                  skip_ahead: Optional[bool] = None,
-                 commit_hook=None, tracer=None, metrics=None):
+                 commit_hook=None, tracer=None, metrics=None,
+                 checkpoint_interval: Optional[int] = None,
+                 checkpoint_sink=None):
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_sink = checkpoint_sink
         self.commit_hook = commit_hook
         self.tracer = tracer
         self.metrics = metrics
@@ -112,8 +120,16 @@ class AdaptiveFgStpMachine:
         self.skip_ahead = skip_ahead
 
     def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
-            warmup: int = 0) -> SimResult:
-        """Simulate *trace*, choosing the better mode per region."""
+            warmup: int = 0,
+            resume_from: Optional[MachineCheckpoint] = None) -> SimResult:
+        """Simulate *trace*, choosing the better mode per region.
+
+        Checkpoints are taken at *region boundaries* (regions run on
+        fresh sub-machines, so between regions the only live state is
+        the accumulator set) and ``resume_from`` restarts the region
+        loop there — bit-identical to a straight-through run because
+        :meth:`_regions` is deterministic.
+        """
         if warmup:
             # Warm-up is handled per region-machine; drop the prefix here
             # by folding it into the first region's warmup.
@@ -126,25 +142,56 @@ class AdaptiveFgStpMachine:
         stacks = []
         previous_mode = None
         measured_offset = 0
-        for region_trace, region_warmup in regions:
-            mode, region_result = self._run_region(
-                region_trace, region_warmup, workload, measured_offset,
-                cycle_offset=total_cycles, previous_mode=previous_mode)
-            measured_offset += len(region_trace) - region_warmup
-            cycles = region_result.cycles
-            stack = cpistack_of(region_result)
-            if previous_mode is not None and mode != previous_mode:
-                switches += 1
-                cycles += self.reconfigure_penalty
+        first_region = 0
+        if resume_from is not None:
+            state = self._install_checkpoint(resume_from, trace, warmup)
+            first_region = state["region_index"]
+            total_cycles = state["total_cycles"]
+            total_instructions = state["total_instructions"]
+            switches = state["switches"]
+            modes = state["modes"]
+            stacks = state["stacks"]
+            previous_mode = state["previous_mode"]
+            measured_offset = state["measured_offset"]
+        ckpt = Checkpointer.maybe(self, "fgstp-adaptive", workload, trace,
+                                  warmup, start=total_instructions)
+        try:
+            for index in range(first_region, len(regions)):
+                if ckpt is not None and ckpt.due(total_instructions):
+                    ckpt.take(total_cycles, total_instructions,
+                              lambda s={
+                                  "region_index": index,
+                                  "total_cycles": total_cycles,
+                                  "total_instructions": total_instructions,
+                                  "switches": switches,
+                                  "modes": list(modes),
+                                  "stacks": list(stacks),
+                                  "previous_mode": previous_mode,
+                                  "measured_offset": measured_offset,
+                              }: dumps_state(s))
+                region_trace, region_warmup = regions[index]
+                mode, region_result = self._run_region(
+                    region_trace, region_warmup, workload, measured_offset,
+                    cycle_offset=total_cycles, previous_mode=previous_mode)
+                measured_offset += len(region_trace) - region_warmup
+                cycles = region_result.cycles
+                stack = cpistack_of(region_result)
+                if previous_mode is not None and mode != previous_mode:
+                    switches += 1
+                    cycles += self.reconfigure_penalty
+                    if stack is not None:
+                        stack = stack.with_overhead(
+                            "reconfig", self.reconfigure_penalty)
                 if stack is not None:
-                    stack = stack.with_overhead("reconfig",
-                                                self.reconfigure_penalty)
-            if stack is not None:
-                stacks.append(stack)
-            previous_mode = mode
-            modes.append(mode)
-            total_cycles += cycles
-            total_instructions += len(region_trace) - region_warmup
+                    stacks.append(stack)
+                previous_mode = mode
+                modes.append(mode)
+                total_cycles += cycles
+                total_instructions += len(region_trace) - region_warmup
+        except SimulationError as error:
+            if ckpt is not None:
+                ckpt.anchor(error)
+            raise
         extra = {
             "modes": modes,
             "switches": switches,
@@ -176,6 +223,29 @@ class AdaptiveFgStpMachine:
             instructions=total_instructions,
             extra=extra,
         )
+
+    def checkpoint_params_key(self) -> str:
+        """Configuration identity for checkpoint compatibility checks."""
+        return (f"{self.base!r}|{self.fgstp!r}"
+                f"|sample={self.sample_instructions}"
+                f"|region={self.region_instructions}"
+                f"|reconfig={self.reconfigure_penalty}")
+
+    def _install_checkpoint(self, checkpoint: MachineCheckpoint,
+                            trace, warmup: int) -> dict:
+        """Validate and unpack a region-boundary accumulator snapshot."""
+        checkpoint.validate_for(
+            "fgstp-adaptive", trace_fingerprint(trace), warmup,
+            self.checkpoint_params_key())
+        state = loads_state(checkpoint.payload)
+        missing = [key for key in
+                   ("region_index", "total_cycles", "total_instructions",
+                    "switches", "modes", "stacks", "previous_mode",
+                    "measured_offset") if key not in state]
+        if missing:
+            raise CheckpointCorruption(
+                f"checkpoint state is missing {missing}")
+        return state
 
     def _regions(self, trace: Sequence[TraceRecord], warmup: int):
         """Split the trace into regions, each carrying its warmup prefix.
@@ -232,12 +302,17 @@ class AdaptiveFgStpMachine:
         sample_end = min(len(region_trace),
                          region_warmup + self.sample_instructions)
         sample = reseq(region_trace[:sample_end])
+        # Region machines run with checkpointing pinned off: the
+        # adaptive machine checkpoints at region boundaries itself, and
+        # env-driven inner snapshots would be both redundant and taken
+        # under region-local (re-sequenced) traces.
         single_sample = SingleCoreMachine(
-            self.base, watchdog_window=window, skip_ahead=skip).run(
+            self.base, watchdog_window=window, skip_ahead=skip,
+            checkpoint_interval=0).run(
             sample, workload=workload, warmup=region_warmup)
         fgstp_sample = FgStpMachine(
             self.base, self.fgstp, watchdog_window=window,
-            skip_ahead=skip).run(
+            skip_ahead=skip, checkpoint_interval=0).run(
             sample, workload=workload, warmup=region_warmup)
         # Only the winning mode's full-region run retires the region
         # architecturally; the sample runs above model performance
@@ -260,12 +335,14 @@ class AdaptiveFgStpMachine:
         if mode == "fgstp":
             result = FgStpMachine(
                 self.base, self.fgstp, watchdog_window=window,
-                skip_ahead=skip, commit_hook=hook, tracer=tracer).run(
+                skip_ahead=skip, commit_hook=hook, tracer=tracer,
+                checkpoint_interval=0).run(
                 region_trace, workload=workload, warmup=region_warmup)
         else:
             result = SingleCoreMachine(
                 self.base, watchdog_window=window, skip_ahead=skip,
-                commit_hook=hook, tracer=tracer).run(
+                commit_hook=hook, tracer=tracer,
+                checkpoint_interval=0).run(
                 region_trace, workload=workload, warmup=region_warmup)
         return mode, result
 

@@ -38,6 +38,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..ckpt.manager import Checkpointer
+from ..ckpt.state import (CheckpointCorruption, MachineCheckpoint,
+                          dumps_state, loads_state, trace_fingerprint)
 from ..integrity.errors import (SimulationError, SimulationHang,
                                 SimulationLimit)
 from ..integrity.forensics import uop_brief
@@ -66,6 +69,17 @@ from .comm import InterCoreQueue
 from .params import FgStpParams
 from .partitioner import Assignment, Partitioner
 from .specdep import DependencePredictor
+
+#: Dynamic (per-run) scalar/container state captured in a checkpoint,
+#: alongside the stateful components (cores, hierarchies, queues, ...).
+_FGSTP_STATE = (
+    "_fetch_cursor", "_global_next", "_next_uid", "_batch", "_feed",
+    "_live", "_copies", "_comm_tags", "_send_map", "_watch",
+    "_last_store", "_stall_seq", "_fetch_resume_at", "_icache_line",
+    "_icache_ready", "_pending_violations", "_violation_store_pc",
+    "_now", "_last_retire_prune", "squashes", "squashed_uops",
+    "mispredict_stall_cycles", "window_stall_cycles", "skipped_cycles",
+)
 
 
 class FgStpMachine:
@@ -99,8 +113,12 @@ class FgStpMachine:
                  policy: Optional[str] = None,
                  watchdog_window: Optional[int] = None,
                  skip_ahead: Optional[bool] = None,
-                 commit_hook=None, tracer=None, metrics=None):
+                 commit_hook=None, tracer=None, metrics=None,
+                 checkpoint_interval: Optional[int] = None,
+                 checkpoint_sink=None):
         self.base = base
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_sink = checkpoint_sink
         self.commit_hook = commit_hook
         self.tracer = tracer
         self.metrics = metrics
@@ -177,7 +195,8 @@ class FgStpMachine:
     # ------------------------------------------------------------------
 
     def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
-            warmup: int = 0) -> SimResult:
+            warmup: int = 0,
+            resume_from: Optional[MachineCheckpoint] = None) -> SimResult:
         """Simulate *trace* on the Fg-STP pair.
 
         Args:
@@ -185,37 +204,64 @@ class FgStpMachine:
             workload: Name recorded in the result.
             warmup: Leading instructions used to functionally warm caches
                 and the branch predictor (untimed).
+            resume_from: Optional :class:`MachineCheckpoint` from an
+                earlier run over the same trace/warmup/configuration;
+                simulation restarts from the snapshot, bit-identical to
+                a straight-through run.
 
         Raises:
             SimulationLimit: if the run exceeds ``max_cycles``.
             SimulationHang: if the watchdog sees no commit for a whole
                 window while the run is incomplete.
             PipelineDrainError: if the run ends with uops in flight.
-            (All are ``SimulationError``/``RuntimeError`` subclasses and
-            carry partial statistics plus a pipeline snapshot.)
+            CheckpointMismatch / CheckpointCorruption: if *resume_from*
+                does not belong to this run or fails to deserialize.
+            (All but the checkpoint errors are ``SimulationError``/
+            ``RuntimeError`` subclasses and carry partial statistics
+            plus a pipeline snapshot.)
         """
         if not trace:
             return SimResult("fgstp", self.base.name, workload, 0, 0)
+        original_trace = trace
         if warmup:
             prefix, trace = split_warmup(trace, warmup)
-            warm_state(prefix, self.hierarchies[0], self.predictor,
-                       line_bytes=self.base.l1i.line_bytes)
-            warm_state(prefix, self.hierarchies[1], None,
-                       line_bytes=self.base.l1i.line_bytes)
-            if self.metrics is not None:
-                # One reset covers registry metrics and both attached
-                # hierarchies — warm-up never leaks into measurements.
-                self.metrics.reset()
-        self._trace = trace
-        total = len(trace)
-        cycle = 0
+            if resume_from is None:
+                warm_state(prefix, self.hierarchies[0], self.predictor,
+                           line_bytes=self.base.l1i.line_bytes)
+                warm_state(prefix, self.hierarchies[1], None,
+                           line_bytes=self.base.l1i.line_bytes)
+                if self.metrics is not None:
+                    # One reset covers registry metrics and both
+                    # attached hierarchies — warm-up never leaks into
+                    # measurements.
+                    self.metrics.reset()
+        if resume_from is None:
+            self._trace = trace
+            cycle = 0
+            self.watchdog.reset()
+            self._recent_commits.clear()
+            self.skipped_cycles = 0
+        else:
+            cycle = self._install_checkpoint(resume_from, trace,
+                                             original_trace, warmup)
+        ckpt = Checkpointer.maybe(self, "fgstp", workload, original_trace,
+                                  warmup, start=self._global_next)
+        try:
+            return self._run_loop(workload, cycle, len(trace), ckpt)
+        except SimulationError as error:
+            if ckpt is not None:
+                ckpt.anchor(error)
+            raise
+
+    def _run_loop(self, workload: str, cycle: int, total: int,
+                  ckpt: Optional[Checkpointer]) -> SimResult:
         watchdog = self.watchdog
-        watchdog.reset()
-        self._recent_commits.clear()
         tracer = self.tracer
         skip = self.skip_ahead
-        self.skipped_cycles = 0
         while self._global_next < total:
+            if ckpt is not None and ckpt.due(self._global_next):
+                ckpt.take(cycle, self._global_next,
+                          lambda c=cycle: self._checkpoint_payload(c))
             if cycle > self.max_cycles:
                 if tracer is not None:
                     tracer.instant("watchdog", cycle,
@@ -761,6 +807,113 @@ class FgStpMachine:
         if self._global_next - self._last_retire_prune >= 1024:
             self.partitioner.retire(self._global_next)
             self._last_retire_prune = self._global_next
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint_params_key(self) -> str:
+        """Configuration identity for checkpoint compatibility checks."""
+        return f"{self.base!r}|{self.fgstp!r}|{self.policy_name}"
+
+    def _detach_observers(self) -> dict:
+        """Strip the unpicklable observer hooks before serialization.
+
+        The cores' completion/commit callbacks are bound methods of this
+        machine (pickling them would drag the whole machine, trace and
+        observers into the blob); queue tracer attachments and a
+        non-default partition policy are closures.  All are reinstalled
+        by :meth:`_reattach_observers` / :meth:`_install_checkpoint`.
+        """
+        saved = {"callbacks": [], "queues": [], "assign": None}
+        for core in self.cores:
+            saved["callbacks"].append((core.on_complete, core.on_commit))
+            core.on_complete = None
+            core.on_commit = None
+        for queue in self.queues:
+            entry = {}
+            for attr in ("tracer", "trace_core"):
+                if attr in queue.__dict__:
+                    entry[attr] = queue.__dict__.pop(attr)
+            saved["queues"].append(entry)
+        if "_assign_pass" in self.partitioner.__dict__:
+            saved["assign"] = self.partitioner.__dict__.pop("_assign_pass")
+        return saved
+
+    def _reattach_observers(self, saved: dict) -> None:
+        for core, (on_complete, on_commit) in zip(self.cores,
+                                                  saved["callbacks"]):
+            core.on_complete = on_complete
+            core.on_commit = on_commit
+        for queue, entry in zip(self.queues, saved["queues"]):
+            for attr, value in entry.items():
+                setattr(queue, attr, value)
+        if saved["assign"] is not None:
+            self.partitioner._assign_pass = saved["assign"]
+
+    def _checkpoint_payload(self, cycle: int) -> bytes:
+        """Pickle the machine's dynamic state in one blob (shared
+        object identity — cores↔hierarchies, uop graphs, queue
+        entries — survives because everything rides in one dict)."""
+        saved_trace = self._trace
+        saved = self._detach_observers()
+        self._trace = ()
+        try:
+            state = {name: getattr(self, name) for name in _FGSTP_STATE}
+            state.update({
+                "hierarchies": self.hierarchies,
+                "cores": self.cores,
+                "predictor": self.predictor,
+                "partitioner": self.partitioner,
+                "dep_predictor": self.dep_predictor,
+                "queues": self.queues,
+                "watchdog": self.watchdog,
+                "recent_commits": self._recent_commits,
+                "cycle": cycle,
+            })
+            return dumps_state(state)
+        finally:
+            self._trace = saved_trace
+            self._reattach_observers(saved)
+
+    def _install_checkpoint(self, checkpoint: MachineCheckpoint,
+                            measured_trace, original_trace,
+                            warmup: int) -> int:
+        """Adopt a checkpoint's state; returns the resume cycle."""
+        checkpoint.validate_for(
+            "fgstp", trace_fingerprint(original_trace), warmup,
+            self.checkpoint_params_key())
+        state = loads_state(checkpoint.payload)
+        try:
+            self.hierarchies = state["hierarchies"]
+            self.cores = state["cores"]
+            self.predictor = state["predictor"]
+            self.partitioner = state["partitioner"]
+            self.dep_predictor = state["dep_predictor"]
+            self.queues = state["queues"]
+            self.watchdog = state["watchdog"]
+            self._recent_commits = state["recent_commits"]
+            for name in _FGSTP_STATE:
+                setattr(self, name, state[name])
+            cycle = state["cycle"]
+        except KeyError as exc:
+            raise CheckpointCorruption(
+                f"checkpoint state is missing {exc}") from exc
+        for core in self.cores:
+            core.on_complete = self._on_complete
+            core.on_commit = self._on_commit
+        if self.policy_name != "chain":
+            from .policies import policy_by_name, set_policy
+            set_policy(self.partitioner, policy_by_name(self.policy_name))
+        if self.tracer is not None:
+            for src_core, queue in enumerate(self.queues):
+                queue.tracer = self.tracer
+                queue.trace_core = src_core
+        if self.metrics is not None:
+            for hierarchy in self.hierarchies:
+                self.metrics.attach(hierarchy)
+        self._trace = measured_trace
+        return cycle
 
     def _partial_stats(self, cycles: int) -> dict:
         """Statistics accumulated up to a failure point (not validated —

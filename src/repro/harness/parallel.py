@@ -45,9 +45,10 @@ from pathlib import Path
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple, Union)
 
+from ..ckpt.manager import set_heartbeat
 from ..fgstp.params import FgStpParams
 from ..integrity.chaos import ENV_CHAOS
-from ..integrity.errors import SimulationError
+from ..integrity.errors import JobMemoryExceeded, SimulationError
 from ..integrity.forensics import write_crash_dump
 from ..stats.result import SimResult
 from ..uarch.params import CoreParams, core_config
@@ -170,6 +171,12 @@ _PROCESS_CACHE: TraceCache = TraceCache()
 #: (``<cache_dir>/traces/``); ``None`` keeps events in-memory only.
 _PROCESS_TRACE_DIR: Optional[Path] = None
 
+#: This worker's heartbeat file (``<cache_dir>/heartbeats/<pid>.json``).
+#: Rewritten at every job start and touched by every checkpoint the
+#: worker takes, so the parent can tell a stuck worker (stale mtime)
+#: from a slow-but-progressing one.  ``None`` outside pool workers.
+_PROCESS_HB_PATH: Optional[Path] = None
+
 #: Ring capacity and sampling shape of sweep-attached tracers.  Sweeps
 #: trade completeness for bounded files: one window in every
 #: :data:`TRACE_SAMPLE_PERIOD` is recorded (rare instants always are).
@@ -178,18 +185,83 @@ TRACE_SAMPLE_WINDOW = 2048
 TRACE_SAMPLE_PERIOD = 4
 
 
-def _init_worker(cache_dir: Optional[str]) -> None:
-    """Pool initializer: give each worker a disk-backed trace cache."""
-    global _PROCESS_CACHE, _PROCESS_TRACE_DIR
+def _init_worker(cache_dir: Optional[str],
+                 hb_dir: Optional[str] = None,
+                 rss_limit_mb: Optional[int] = None) -> None:
+    """Pool initializer: trace cache, heartbeat file, RSS budget."""
+    global _PROCESS_CACHE, _PROCESS_TRACE_DIR, _PROCESS_HB_PATH
     _PROCESS_CACHE = (DiskTraceCache(cache_dir) if cache_dir
                       else TraceCache())
     _PROCESS_TRACE_DIR = (Path(cache_dir) / "traces" if cache_dir
                           else None)
+    _PROCESS_HB_PATH = None
+    if hb_dir:
+        try:
+            path = Path(hb_dir) / f"{os.getpid()}.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps({"pid": os.getpid(), "job": "",
+                                        "key": "",
+                                        "started": time.time()}))
+            _PROCESS_HB_PATH = path
+            # Long-running jobs prove liveness through their checkpoint
+            # cadence: every snapshot the machine takes touches the
+            # heartbeat file, so only a genuinely wedged simulation
+            # goes stale.
+            set_heartbeat(lambda: os.utime(path))
+        except OSError:
+            _PROCESS_HB_PATH = None
+    if rss_limit_mb:
+        _apply_rss_limit(rss_limit_mb)
     # Workers must not intercept Ctrl-C; the parent handles shutdown.
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):
         pass
+
+
+def _apply_rss_limit(rss_limit_mb: int) -> bool:
+    """Cap this process's address space; True when the cap took hold.
+
+    ``RLIMIT_AS`` is the portable proxy for an RSS budget: allocation
+    beyond the cap raises ``MemoryError`` inside the job rather than
+    inviting the OOM killer.  Unenforceable platforms (no ``resource``
+    module, privileged hard limit) simply run uncapped.
+    """
+    try:
+        import resource
+    except ImportError:
+        return False
+    limit = int(rss_limit_mb) * 1024 * 1024
+    try:
+        _soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (OSError, ValueError):
+        return False
+    return True
+
+
+def _worker_run(job_fn: Callable[["SweepJob"], SimResult],
+                job: "SweepJob") -> SimResult:
+    """Pool-side wrapper around *job_fn*: heartbeat + memory budget.
+
+    Records which job this worker is on (so the parent can requeue it
+    if the worker has to be preempted) and converts a budget-tripped
+    ``MemoryError`` into the structured :class:`JobMemoryExceeded` that
+    crash dumps and forensics understand.
+    """
+    if _PROCESS_HB_PATH is not None:
+        try:
+            _PROCESS_HB_PATH.write_text(json.dumps(
+                {"pid": os.getpid(), "job": job.name, "key": job.key(),
+                 "started": time.time()}))
+        except OSError:
+            pass
+    try:
+        return job_fn(job)
+    except MemoryError as exc:
+        raise JobMemoryExceeded(
+            f"{job.name} exceeded its per-job memory budget",
+            machine=job.machine) from exc
 
 
 def _attach_pipetrace(job: SweepJob, overrides: Dict[str, Any]):
@@ -251,17 +323,32 @@ class JobTimeout(Exception):
     """A job exceeded the engine's per-job timeout."""
 
 
+def _failure_kind(exc: Exception) -> str:
+    """Classify one failed attempt for metrics and retry history."""
+    if isinstance(exc, JobTimeout):
+        return "timeout"
+    if isinstance(exc, JobMemoryExceeded):
+        return "memory"
+    return "error"
+
+
 def _call_with_timeout(function: Callable[[SweepJob], SimResult],
                        job: SweepJob,
-                       timeout: Optional[float]) -> SimResult:
+                       timeout: Optional[float],
+                       unenforced: Optional[Callable[[], None]] = None
+                       ) -> SimResult:
     """Serial-path timeout enforcement via ``SIGALRM`` where possible.
 
     Off the main thread (or on platforms without ``setitimer``) the
-    timeout is not enforceable without a pool; the job simply runs.
+    timeout is not enforceable without a pool; the job simply runs, and
+    *unenforced* — when given — is invoked so the engine can surface
+    the silently-dropped guarantee instead of pretending it held.
     """
     can_alarm = (timeout is not None and hasattr(signal, "setitimer")
                  and threading.current_thread() is threading.main_thread())
     if not can_alarm:
+        if timeout is not None and unenforced is not None:
+            unenforced()
         return function(job)
 
     def _on_alarm(_signum, _frame):
@@ -274,6 +361,41 @@ def _call_with_timeout(function: Callable[[SweepJob], SimResult],
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def _call_with_rss_limit(function: Callable[[SweepJob], SimResult],
+                         job: SweepJob,
+                         rss_limit_mb: Optional[int]) -> SimResult:
+    """Serial-path memory budget: cap, run, restore.
+
+    The address-space cap applies to the *whole* parent process, so it
+    is installed only around the job and restored afterwards.  Where the
+    cap cannot be installed the job runs unbudgeted (same stance as the
+    serial timeout).
+    """
+    if not rss_limit_mb:
+        return function(job)
+    try:
+        import resource
+    except ImportError:
+        return function(job)
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        resource.setrlimit(resource.RLIMIT_AS,
+                           (int(rss_limit_mb) * 1024 * 1024, hard))
+    except (OSError, ValueError):
+        return function(job)
+    try:
+        return function(job)
+    except MemoryError as exc:
+        raise JobMemoryExceeded(
+            f"{job.name} exceeded its per-job memory budget "
+            f"({rss_limit_mb} MiB)", machine=job.machine) from exc
+    finally:
+        try:
+            resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+        except (OSError, ValueError):
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -296,7 +418,8 @@ class JobFailure:
 
     Attributes:
         job: The failed job.
-        kind: ``"timeout"`` or ``"error"``.
+        kind: ``"timeout"``, ``"memory"``, ``"stuck"`` (preempted
+            hung worker, retry budget spent) or ``"error"``.
         attempts: Total attempts made (1 + retries).
         error: Stringified final exception.
         failure_class: :attr:`SimulationError.failure_class` when the
@@ -305,6 +428,11 @@ class JobFailure:
             where the dead run's cycles went.
         dump_path: Crash dump written for this failure (``""`` when
             dumps are disabled or the failure carried no state).
+        history: One record per attempt —
+            ``{"attempt", "kind", "error", "elapsed"}`` — so a crash
+            dump shows *how* the job died each time, not just the last
+            word (a timeout that became an error on retry is a very
+            different bug from two identical timeouts).
     """
 
     job: SweepJob
@@ -314,6 +442,7 @@ class JobFailure:
     failure_class: str = ""
     partial: Optional[Dict[str, Any]] = None
     dump_path: str = ""
+    history: List[Dict[str, Any]] = field(default_factory=list)
 
     def __str__(self) -> str:
         text = (f"{self.job.name}: {self.kind} after "
@@ -335,6 +464,13 @@ class SweepMetrics:
         jobs_total / jobs_done / jobs_failed: Job counts; done + failed +
             result_cache_hits == total on return.
         retries: Extra attempts beyond each job's first.
+        interrupted: The run stopped early on a shutdown request
+            (``stop_event``); completed results were still persisted.
+        timeout_unenforced: A per-job timeout was configured but could
+            not be enforced on at least one serial-path job (no
+            ``SIGALRM`` off the main thread / on this platform).
+        preempted: Hung workers killed by the heartbeat monitor (their
+            jobs were requeued against the retry budget).
         result_cache_hits: Jobs satisfied from the on-disk result cache.
         quarantined: Corrupt result-cache entries moved aside (to
             ``<cache_dir>/quarantine/``) and recomputed.
@@ -352,6 +488,9 @@ class SweepMetrics:
     jobs_done: int = 0
     jobs_failed: int = 0
     retries: int = 0
+    interrupted: bool = False
+    timeout_unenforced: bool = False
+    preempted: int = 0
     result_cache_hits: int = 0
     quarantined: int = 0
     traces_reused: int = 0
@@ -374,6 +513,9 @@ class SweepMetrics:
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
             "retries": self.retries,
+            "interrupted": self.interrupted,
+            "timeout_unenforced": self.timeout_unenforced,
+            "preempted": self.preempted,
             "result_cache_hits": self.result_cache_hits,
             "quarantined": self.quarantined,
             "cache_hit_rate": self.cache_hit_rate,
@@ -470,7 +612,8 @@ class ExperimentEngine:
             fresh per-run cache, or the disk cache when *cache_dir* is
             set).
         progress: Optional callback ``(event, message)`` with events
-            ``job-done``, ``job-retry``, ``job-failed``, ``stage``.
+            ``job-done``, ``job-retry``, ``job-failed``,
+            ``job-preempted``, ``job-timeout-unenforced``, ``stage``.
         oracle_sample: Fraction of jobs (0..1) to run under the
             commit-stream oracle.  Selection is a deterministic hash of
             each job's content key, so re-running the same sweep checks
@@ -481,6 +624,21 @@ class ExperimentEngine:
             with a salt distinct from the oracle draw, so the two
             samples are independent; sampled jobs carry a distinct
             cache key.
+        stop_event: Cooperative shutdown flag (``threading.Event``).
+            Once set (typically by a SIGINT/SIGTERM handler) the engine
+            stops launching jobs, abandons what cannot be cancelled,
+            marks the outcome ``interrupted``, and returns — with every
+            already-completed result persisted to the result cache so a
+            resumed sweep never redoes them.
+        stuck_after: Seconds of heartbeat silence after which a pool
+            worker is declared wedged and killed (``SIGKILL``); its job
+            is requeued against the retry budget.  Requires *cache_dir*
+            (heartbeat files live under ``<cache_dir>/heartbeats/``).
+            ``None`` disables preemption.
+        rss_limit_mb: Per-job address-space budget in MiB.  A job that
+            allocates past it fails with the structured
+            :class:`~repro.integrity.errors.JobMemoryExceeded`
+            (kind ``"memory"``) instead of OOM-killing the host.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
@@ -492,7 +650,10 @@ class ExperimentEngine:
                  trace_cache: Optional[TraceCache] = None,
                  progress: Optional[ProgressFn] = None,
                  oracle_sample: float = 0.0,
-                 trace_sample: float = 0.0):
+                 trace_sample: float = 0.0,
+                 stop_event: Optional[threading.Event] = None,
+                 stuck_after: Optional[float] = None,
+                 rss_limit_mb: Optional[int] = None):
         self.max_workers = max(1, int(max_workers or 1))
         self.timeout = timeout
         self.retries = max(0, int(retries))
@@ -503,6 +664,9 @@ class ExperimentEngine:
         self.progress = progress
         self.oracle_sample = min(1.0, max(0.0, float(oracle_sample)))
         self.trace_sample = min(1.0, max(0.0, float(trace_sample)))
+        self.stop_event = stop_event
+        self.stuck_after = stuck_after
+        self.rss_limit_mb = rss_limit_mb
 
     # -- public API ----------------------------------------------------
 
@@ -541,7 +705,7 @@ class ExperimentEngine:
         if pending and self.max_workers > 1:
             metrics.mode = "parallel"
             remaining = self._run_pool(jobs, pending, job_fn, outcome)
-            if remaining:
+            if remaining and not metrics.interrupted:
                 metrics.mode = "degraded"
                 self._emit("stage", f"pool unavailable; running "
                                     f"{len(remaining)} job(s) serially")
@@ -615,21 +779,44 @@ class ExperimentEngine:
         _PROCESS_CACHE = self._serial_cache()
         _PROCESS_TRACE_DIR = (self.cache_dir / "traces"
                               if self.cache_dir else None)
+        def budgeted(job: SweepJob) -> SimResult:
+            return _call_with_rss_limit(job_fn, job, self.rss_limit_mb)
+
+        def timeout_unenforced() -> None:
+            if not outcome.metrics.timeout_unenforced:
+                outcome.metrics.timeout_unenforced = True
+                self._emit("job-timeout-unenforced",
+                           f"timeout {self.timeout:.3g}s configured but "
+                           f"SIGALRM is unavailable here; jobs run "
+                           f"unbounded")
+
         try:
             for index in pending:
+                if self._stopped():
+                    outcome.metrics.interrupted = True
+                    break
                 if outcome.results[index] is not None:
                     continue  # already satisfied (degraded-mode rerun)
                 job = jobs[index]
+                history: List[Dict[str, Any]] = []
                 for attempt in range(1, self.retries + 2):
+                    attempt_started = time.monotonic()
                     try:
                         outcome.results[index] = _call_with_timeout(
-                            job_fn, job, self.timeout)
+                            budgeted, job, self.timeout,
+                            unenforced=timeout_unenforced)
                         outcome.metrics.jobs_done += 1
+                        self._store_cached_result(job,
+                                                  outcome.results[index])
                         self._emit("job-done", job.name)
                         break
                     except Exception as exc:
-                        kind = ("timeout" if isinstance(exc, JobTimeout)
-                                else "error")
+                        kind = _failure_kind(exc)
+                        history.append({
+                            "attempt": attempt, "kind": kind,
+                            "error": str(exc),
+                            "elapsed": time.monotonic() - attempt_started,
+                        })
                         if attempt <= self.retries:
                             outcome.metrics.retries += 1
                             self._emit("job-retry",
@@ -637,7 +824,8 @@ class ExperimentEngine:
                                        f"attempt {attempt + 1}")
                             time.sleep(self.backoff * (2 ** (attempt - 1)))
                         else:
-                            self._fail(outcome, index, kind, attempt, exc)
+                            self._fail(outcome, index, kind, attempt, exc,
+                                       history=history)
         finally:
             _PROCESS_CACHE = saved
             _PROCESS_TRACE_DIR = saved_trace_dir
@@ -658,32 +846,53 @@ class ExperimentEngine:
 
         A per-job deadline is enforced parent-side: an overdue future is
         abandoned (a busy worker cannot be preempted) and the job is
-        retried on another slot.  :class:`BrokenProcessPool` — or any
-        failure to create the pool at all — degrades by returning the
-        unfinished indices.
+        retried on another slot.  With ``stuck_after`` set, workers
+        whose heartbeat file goes stale are killed outright and their
+        jobs requeued.  :class:`BrokenProcessPool` — or any failure to
+        create the pool at all — degrades by returning the unfinished
+        indices.  A set ``stop_event`` cancels what it can and returns
+        with the outcome marked interrupted.
         """
+        hb_dir = (self.cache_dir / "heartbeats"
+                  if self.cache_dir and self.stuck_after else None)
         try:
             pool = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_init_worker,
-                initargs=(str(self.cache_dir) if self.cache_dir else None,))
+                initargs=(str(self.cache_dir) if self.cache_dir else None,
+                          str(hb_dir) if hb_dir else None,
+                          self.rss_limit_mb))
         except (OSError, ImportError, PermissionError) as exc:
             self._emit("stage", f"process pool unavailable ({exc})")
             return list(pending)
 
         attempts: Dict[int, int] = {index: 0 for index in pending}
-        inflight: Dict[Any, Tuple[int, Optional[float]]] = {}
+        histories: Dict[int, List[Dict[str, Any]]] = {}
+        inflight: Dict[Any, Tuple[int, Optional[float], float]] = {}
         unfinished: List[int] = []
         abandoned = 0
+        monitoring = (self.stop_event is not None
+                      or (hb_dir is not None and self.stuck_after))
 
         def submit(index: int) -> None:
             attempts[index] += 1
             deadline = (time.monotonic() + self.timeout
                         if self.timeout else None)
-            inflight[pool.submit(job_fn, jobs[index])] = (index, deadline)
+            inflight[pool.submit(_worker_run, job_fn, jobs[index])] = \
+                (index, deadline, time.monotonic())
 
-        def retry_or_fail(index: int, kind: str, exc: Exception) -> bool:
+        def record_attempt(index: int, kind: str, exc: Exception,
+                           started: float) -> List[Dict[str, Any]]:
+            history = histories.setdefault(index, [])
+            history.append({"attempt": attempts[index], "kind": kind,
+                            "error": str(exc),
+                            "elapsed": time.monotonic() - started})
+            return history
+
+        def retry_or_fail(index: int, kind: str, exc: Exception,
+                          started: float) -> bool:
             """Returns True when the job was resubmitted."""
+            record_attempt(index, kind, exc, started)
             if attempts[index] <= self.retries:
                 outcome.metrics.retries += 1
                 self._emit("job-retry",
@@ -692,42 +901,110 @@ class ExperimentEngine:
                 time.sleep(self.backoff * (2 ** (attempts[index] - 1)))
                 submit(index)
                 return True
-            self._fail(outcome, index, kind, attempts[index], exc)
+            self._fail(outcome, index, kind, attempts[index], exc,
+                       history=histories.get(index))
             return False
+
+        def preempt_stuck_workers() -> None:
+            """SIGKILL workers whose heartbeat went stale.
+
+            The kill breaks the pool; the BrokenProcessPool handler
+            below routes every inflight job — the stuck one included,
+            unless its retry budget is already spent — to the serial
+            drain.  A job whose budget *is* spent fails here as
+            ``"stuck"``, which keeps it out of the drain.
+            """
+            if hb_dir is None or not self.stuck_after:
+                return
+            key_to_index = {jobs[index].key(): index
+                            for index, _, _ in inflight.values()}
+            stale_before = time.time() - self.stuck_after
+            try:
+                hb_files = list(hb_dir.glob("*.json"))
+            except OSError:
+                return
+            for hb_file in hb_files:
+                try:
+                    if hb_file.stat().st_mtime > stale_before:
+                        continue
+                    beat = json.loads(hb_file.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue
+                index = key_to_index.get(beat.get("key"))
+                pid = beat.get("pid")
+                if index is None or not isinstance(pid, int):
+                    continue
+                outcome.metrics.preempted += 1
+                self._emit("job-preempted",
+                           f"{jobs[index].name}: worker {pid} silent for "
+                           f"{self.stuck_after:.3g}s; killing and "
+                           f"requeuing")
+                if attempts[index] > self.retries:
+                    self._fail(outcome, index, "stuck", attempts[index],
+                               JobTimeout(f"worker {pid} made no progress "
+                                          f"for {self.stuck_after:.3g}s"),
+                               history=histories.get(index))
+                else:
+                    outcome.metrics.retries += 1
+                try:
+                    hb_file.unlink()
+                except OSError:
+                    pass
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (OSError, AttributeError):
+                    pass
 
         try:
             for index in pending:
                 submit(index)
             while inflight:
+                if self._stopped():
+                    outcome.metrics.interrupted = True
+                    for future in list(inflight):
+                        if future.cancel():
+                            inflight.pop(future)
+                    abandoned += len(inflight)
+                    break
                 now = time.monotonic()
-                deadlines = [deadline for _, deadline in inflight.values()
+                deadlines = [deadline for _, deadline, _ in inflight.values()
                              if deadline is not None]
                 wait_for = (max(0.0, min(deadlines) - now)
                             if deadlines else None)
+                if monitoring:
+                    wait_for = (0.25 if wait_for is None
+                                else min(wait_for, 0.25))
                 done, _ = wait(set(inflight), timeout=wait_for,
                                return_when=FIRST_COMPLETED)
                 for future in done:
-                    index, _ = inflight.pop(future)
+                    index, _, started = inflight.pop(future)
                     try:
                         outcome.results[index] = future.result()
                         outcome.metrics.jobs_done += 1
+                        self._store_cached_result(jobs[index],
+                                                  outcome.results[index])
                         self._emit("job-done", jobs[index].name)
                     except BrokenProcessPool:
                         raise
                     except Exception as exc:
-                        retry_or_fail(index, "error", exc)
+                        retry_or_fail(index, _failure_kind(exc), exc,
+                                      started)
                 now = time.monotonic()
-                for future in [f for f, (_, deadline) in inflight.items()
+                for future in [f for f, (_, deadline, _) in inflight.items()
                                if deadline is not None and now >= deadline]:
-                    index, _ = inflight.pop(future)
+                    index, _, started = inflight.pop(future)
                     if not future.cancel():
                         abandoned += 1  # running: slot freed when it ends
                     retry_or_fail(
                         index, "timeout",
-                        JobTimeout(f"exceeded {self.timeout:.3g}s"))
+                        JobTimeout(f"exceeded {self.timeout:.3g}s"),
+                        started)
+                preempt_stuck_workers()
         except BrokenProcessPool as exc:
             self._emit("stage", f"worker died ({exc})")
-            unfinished = [index for index, _ in inflight.values()]
+            unfinished = [index for index, _, _ in inflight.values()
+                          if not any(failure.job is jobs[index]
+                                     for failure in outcome.failures)]
             unfinished += [index for index in pending
                            if outcome.results[index] is None
                            and index not in unfinished
@@ -814,11 +1091,15 @@ class ExperimentEngine:
         return {key for key in keys
                 if (trace_dir / f"{key}.trace").exists()}
 
+    def _stopped(self) -> bool:
+        return self.stop_event is not None and self.stop_event.is_set()
+
     def _fail(self, outcome: SweepOutcome, index: int, kind: str,
-              attempts: int, exc: Exception) -> None:
+              attempts: int, exc: Exception,
+              history: Optional[List[Dict[str, Any]]] = None) -> None:
         job = outcome.jobs[index]
         failure = JobFailure(job=job, kind=kind, attempts=attempts,
-                             error=str(exc))
+                             error=str(exc), history=list(history or []))
         if isinstance(exc, SimulationError):
             # Structured failure: keep the partial statistics on the
             # record and persist a replayable crash dump next to the
@@ -827,10 +1108,13 @@ class ExperimentEngine:
             failure.partial = exc.partial or None
             crash_dir = self._crash_dir()
             if crash_dir is not None:
+                context = self._replay_context(job)
+                if failure.history:
+                    context["retry_history"] = failure.history
                 try:
                     failure.dump_path = str(write_crash_dump(
                         exc, directory=crash_dir,
-                        context=self._replay_context(job),
+                        context=context,
                         workload=job.benchmark))
                 except OSError:
                     pass

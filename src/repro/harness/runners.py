@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from ..ckpt.manager import resolve_interval
+from ..ckpt.state import CheckpointError, trace_fingerprint
+from ..ckpt.store import CheckpointStore, run_key
 from ..corefusion.machine import CoreFusionMachine
 from ..fgstp.adaptive import AdaptiveFgStpMachine
 from ..fgstp.orchestrator import FgStpMachine
@@ -62,10 +65,45 @@ def run_machine(machine: str, benchmark: str, base: CoreParams,
                 fgstp: Optional[FgStpParams] = None,
                 cache: TraceCache = DEFAULT_CACHE,
                 **overrides) -> SimResult:
-    """Run *benchmark* on *machine* and return the result."""
+    """Run *benchmark* on *machine* and return the result.
+
+    When checkpointing is active for this run (a positive
+    ``checkpoint_interval`` override or ``REPRO_CHECKPOINT_INTERVAL``)
+    and a compatible on-disk checkpoint exists, simulation auto-resumes
+    from the snapshot — bit-identical to starting over, minus the
+    already-simulated cycles.  Resume is skipped for observed runs
+    (tracer / commit hook / metrics attached): a mid-run attachment
+    would see only the resumed suffix of the event stream.
+    """
     trace = cache.get(benchmark, config.trace_length, config.seed)
     model = build_machine(machine, base, fgstp, **overrides)
-    return model.run(trace, workload=benchmark, warmup=config.warmup)
+    resume_from = _auto_resume(model, machine, benchmark, trace,
+                               config.warmup, overrides)
+    try:
+        return model.run(trace, workload=benchmark, warmup=config.warmup,
+                         resume_from=resume_from)
+    except CheckpointError:
+        # Stale or incompatible snapshot (e.g. serialization drift):
+        # fall back to a clean from-scratch run on a fresh machine.
+        model = build_machine(machine, base, fgstp, **overrides)
+        return model.run(trace, workload=benchmark, warmup=config.warmup)
+
+
+def _auto_resume(model, machine: str, benchmark: str, trace,
+                 warmup: int, overrides: dict):
+    """The on-disk checkpoint to resume *model* from, or ``None``."""
+    if resolve_interval(getattr(model, "checkpoint_interval", None)) <= 0:
+        return None
+    if getattr(model, "_chaos_kinds", ()):
+        return None
+    if any(overrides.get(name) is not None
+           for name in ("tracer", "commit_hook", "metrics")):
+        return None
+    sink = getattr(model, "checkpoint_sink", None)
+    store = sink if isinstance(sink, CheckpointStore) else CheckpointStore()
+    key = run_key(machine, benchmark, warmup,
+                  model.checkpoint_params_key(), trace_fingerprint(trace))
+    return store.load(key)
 
 
 def run_suite(machine: str, base: CoreParams, config: ExperimentConfig,

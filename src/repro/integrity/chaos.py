@@ -25,6 +25,12 @@ Fault kinds (see :data:`KINDS`):
 * ``commit_stall`` — retirement stops after ``after`` commits (a stuck
   commit gate): completed work piles up behind a head that never
   retires.
+* ``corrupt_checkpoint`` — checkpoint files are written normally for
+  the first ``after`` snapshots, then every later file has a payload
+  byte flipped after landing on disk.  *Not* a hang: the checkpoint
+  store must detect the bad sha256, quarantine the file, and fall back
+  to a from-scratch run — proving corrupt snapshots can never poison a
+  resume.
 
 Specs parse from strings (``"stuck_queue:after=0,queue=0"``) so they
 travel through crash-dump replay recipes and the ``REPRO_CHAOS``
@@ -46,7 +52,7 @@ ENV_CHAOS = "REPRO_CHAOS"
 
 #: Every fault kind the harness can inject.
 KINDS = ("stuck_queue", "drop_sends", "duplicate_sends",
-         "corrupt_specdep", "commit_stall")
+         "corrupt_specdep", "commit_stall", "corrupt_checkpoint")
 
 
 class ChaosError(ValueError):
@@ -135,6 +141,15 @@ def apply_chaos(machine: Any, spec: ChaosSpec, strict: bool = True) -> Any:
             f"chaos kind {spec.kind!r} does not apply to "
             f"{type(machine).__name__}")
     if applied:
+        # Record active kinds on the machine: the checkpoint manager
+        # refuses to snapshot a deliberately-broken machine (the fault
+        # wrappers are closures, unpicklable by design) — except under
+        # corrupt_checkpoint, whose whole point is exercising the
+        # checkpoint write path.
+        for target in (machine, getattr(machine, "_machine", None)):
+            if target is not None:
+                target._chaos_kinds = (
+                    getattr(target, "_chaos_kinds", ()) + (spec.kind,))
         # Fault wrappers count *calls* (one per simulated cycle for
         # queue delivery), so their trigger points are cycle-loop
         # dependent: force the naive per-cycle loop so an injected
@@ -271,10 +286,54 @@ def _inject_commit_stall(machine: Any, spec: ChaosSpec) -> bool:
     return False
 
 
+def _flip_last_byte(path) -> None:
+    """Flip a file's final byte in place (always lands in the pickle
+    payload of a ``repro-ckpt-v1`` file, breaking its sha256)."""
+    with open(path, "r+b") as stream:
+        stream.seek(-1, os.SEEK_END)
+        byte = stream.read(1)
+        if not byte:
+            return
+        stream.seek(-1, os.SEEK_END)
+        stream.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _inject_corrupt_checkpoint(machine: Any, spec: ChaosSpec) -> bool:
+    target = machine
+    if not hasattr(target, "checkpoint_sink"):
+        target = getattr(machine, "_machine", None)
+        if target is None or not hasattr(target, "checkpoint_sink"):
+            return False
+    after = spec.get("after", 0)
+    inner = target.checkpoint_sink
+
+    class _CorruptingSink:
+        """Writes checkpoints through the real sink, then vandalises
+        every file past the first ``after`` of them."""
+
+        def __init__(self):
+            self.written = 0
+
+        def save(self, key, checkpoint):
+            sink = inner
+            if sink is None:
+                from ..ckpt.store import CheckpointStore
+                sink = CheckpointStore()
+            path = sink.save(key, checkpoint)
+            self.written += 1
+            if self.written > after and path is not None:
+                _flip_last_byte(path)
+            return path
+
+    target.checkpoint_sink = _CorruptingSink()
+    return True
+
+
 _INJECTORS = {
     "stuck_queue": _inject_stuck_queue,
     "drop_sends": _inject_drop_sends,
     "duplicate_sends": _inject_duplicate_sends,
     "corrupt_specdep": _inject_corrupt_specdep,
     "commit_stall": _inject_commit_stall,
+    "corrupt_checkpoint": _inject_corrupt_checkpoint,
 }

@@ -152,3 +152,15 @@ class PipelineDrainError(SimulationError):
     deadlock the loop condition masked)."""
 
     kind = "drain"
+
+
+class JobMemoryExceeded(SimulationError):
+    """A harness job overran its per-job RSS budget.
+
+    Raised by the sweep engine when a job's address-space limit
+    (``--rss-limit-mb``) trips: the worker's ``MemoryError`` is
+    converted into this structured form so memory blow-ups flow through
+    :class:`~repro.harness.parallel.JobFailure`, crash dumps, and
+    ``repro forensics`` exactly like timeouts do."""
+
+    kind = "memory"

@@ -181,3 +181,31 @@ def trace_from_context(context: Dict[str, Any]) -> List[TraceRecord]:
     if length <= 0:
         raise KeyError("replay recipe has no trace length")
     return generate_trace(benchmark, length, seed)
+
+
+def checkpoint_suffix(trace: Sequence[TraceRecord],
+                      context: Dict[str, Any]
+                      ) -> Optional[List[TraceRecord]]:
+    """The post-checkpoint suffix of *trace*, when the crash dump is
+    anchored to a checkpoint.
+
+    Machines anchor hangs and chaos faults to their latest checkpoint
+    (``checkpoint_committed`` = measured instructions already retired
+    when the snapshot was taken); everything before that point provably
+    executed cleanly, so the minimizer can start from the suffix
+    instead of the trace head.  ``checkpoint_committed`` counts
+    *measured* (post-warmup) instructions while *trace* is the full
+    regenerated stream, so the cut adds the warmup prefix back in.
+
+    Returns the re-sequenced suffix, or ``None`` when the dump carries
+    no usable anchor (no checkpoint, or a cut that would not shrink the
+    probe input).
+    """
+    committed = context.get("checkpoint_committed")
+    if not isinstance(committed, int) or committed <= 0:
+        return None
+    warmup = int(context.get("warmup", 0) or 0)
+    cut = warmup + committed
+    if cut <= 0 or cut >= len(trace):
+        return None
+    return reseq(list(trace[cut:]))

@@ -10,6 +10,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, Sequence
 
+from ...ckpt.manager import Checkpointer
+from ...ckpt.state import (CheckpointCorruption, MachineCheckpoint,
+                           dumps_state, loads_state, trace_fingerprint)
 from ...integrity.errors import (SimulationError, SimulationHang,
                                  SimulationLimit)
 from ...integrity.forensics import uop_brief
@@ -77,13 +80,22 @@ class SingleCoreMachine:
                  watchdog_window: Optional[int] = None,
                  skip_ahead: Optional[bool] = None,
                  commit_hook: Optional[Callable[[Uop, int], None]] = None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None,
+                 checkpoint_interval: Optional[int] = None,
+                 checkpoint_sink=None):
         self.params = params
         self.commit_hook = commit_hook
         self.tracer = tracer
         self.metrics = metrics
         self.machine_label = machine_label
         self.max_cycles = max_cycles
+        #: Committed-instruction checkpoint cadence (``None`` = follow
+        #: ``REPRO_CHECKPOINT_INTERVAL``; 0 = off) and the store the
+        #: snapshots land in (``None`` = default on-disk store).
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_sink = checkpoint_sink
+        self._cluster_key = (num_clusters, cross_cluster_latency,
+                             cluster_issue_width)
         self.skip_ahead = skip_ahead_enabled(skip_ahead)
         #: Diagnostic: cycles the last run bridged via skip-ahead
         #: (deliberately *not* part of the :class:`SimResult`, which
@@ -102,7 +114,8 @@ class SingleCoreMachine:
         self._recent_commits: Deque[Uop] = deque(maxlen=RECENT_COMMITS)
 
     def run(self, trace: Sequence[TraceRecord], workload: str = "trace",
-            warmup: int = 0) -> SimResult:
+            warmup: int = 0,
+            resume_from: Optional[MachineCheckpoint] = None) -> SimResult:
         """Simulate *trace* to completion and return the result.
 
         Args:
@@ -111,40 +124,72 @@ class SingleCoreMachine:
             warmup: Number of leading instructions used to functionally
                 warm caches and the branch predictor; only the remainder
                 is timed (see :mod:`repro.uarch.warmup`).
+            resume_from: Optional :class:`MachineCheckpoint` taken by an
+                earlier run over the *same* trace/warmup/configuration;
+                simulation restarts from the snapshot and the final
+                result is bit-identical to a straight-through run.
 
         Raises:
             SimulationLimit: if the run exceeds ``max_cycles``.
             SimulationHang: if the watchdog sees no commit for a whole
                 window while the run is incomplete.
             PipelineDrainError: if the run ends with uops in flight.
-            (All are ``SimulationError``/``RuntimeError`` subclasses and
-            carry partial statistics plus a pipeline snapshot.)
+            CheckpointMismatch / CheckpointCorruption: if *resume_from*
+                does not belong to this run or fails to deserialize.
+            (All but the checkpoint errors are ``SimulationError``/
+            ``RuntimeError`` subclasses and carry partial statistics
+            plus a pipeline snapshot.)
         """
         if not trace:
             return SimResult(self.machine_label, self.params.name,
                              workload, 0, 0)
+        original_trace = trace
         if warmup:
             prefix, trace = split_warmup(trace, warmup)
-            warm_state(prefix, self.hierarchy, self.predictor,
-                       line_bytes=self.params.l1i.line_bytes)
-            if self.metrics is not None:
-                # Warm-up must not leak into measured metrics — the one
-                # reset covers registry metrics AND attached components.
-                self.metrics.reset()
-        fetch = SelfFetchUnit(self.core, trace, self.predictor,
-                              line_bytes=self.params.l1i.line_bytes)
+            if resume_from is None:
+                warm_state(prefix, self.hierarchy, self.predictor,
+                           line_bytes=self.params.l1i.line_bytes)
+                if self.metrics is not None:
+                    # Warm-up must not leak into measured metrics — the
+                    # one reset covers registry metrics AND attached
+                    # components.
+                    self.metrics.reset()
+        if resume_from is None:
+            fetch = SelfFetchUnit(self.core, trace, self.predictor,
+                                  line_bytes=self.params.l1i.line_bytes)
+            cycle = 0
+            committed = 0
+            self.watchdog.reset()
+            self._recent_commits.clear()
+            self.skipped_cycles = 0
+        else:
+            fetch, cycle, committed = self._install_checkpoint(
+                resume_from, trace, original_trace, warmup)
         core = self.core
         tracer = self.tracer
-        cycle = 0
-        committed = 0
         total = len(trace)
         watchdog = self.watchdog
-        watchdog.reset()
-        self._recent_commits.clear()
         skip = self.skip_ahead
-        self.skipped_cycles = 0
         max_cycles = self.max_cycles
+        ckpt = Checkpointer.maybe(self, self.machine_label, workload,
+                                  original_trace, warmup, start=committed)
+        try:
+            return self._run_loop(trace, workload, fetch, core, tracer,
+                                  cycle, committed, total, watchdog, skip,
+                                  max_cycles, ckpt)
+        except SimulationError as error:
+            if ckpt is not None:
+                ckpt.anchor(error)
+            raise
+
+    def _run_loop(self, trace, workload, fetch, core, tracer, cycle,
+                  committed, total, watchdog, skip, max_cycles,
+                  ckpt) -> SimResult:
         while committed < total:
+            if ckpt is not None and ckpt.due(committed):
+                ckpt.take(cycle, committed,
+                          lambda f=fetch, c=cycle, k=committed:
+                          self._checkpoint_payload(f, c, k))
             if cycle > max_cycles:
                 if tracer is not None:
                     tracer.instant("watchdog", cycle,
@@ -247,6 +292,67 @@ class SingleCoreMachine:
                 "cpistack": stack.as_dict(),
             },
         )
+
+    def checkpoint_params_key(self) -> str:
+        """Configuration identity for checkpoint compatibility checks."""
+        clusters, latency, width = self._cluster_key
+        return (f"{self.params!r}|clusters={clusters}"
+                f"|xlat={latency}|cwidth={width}")
+
+    def _checkpoint_payload(self, fetch: SelfFetchUnit, cycle: int,
+                            committed: int) -> bytes:
+        """Pickle the machine's dynamic state in one blob.
+
+        The trace itself is detached first — it is reproducible from
+        the workload/seed, dominates the snapshot size, and its
+        fingerprint already rides in the checkpoint metadata.
+        """
+        saved_trace = fetch.trace
+        fetch.trace = ()
+        try:
+            return dumps_state({
+                "hierarchy": self.hierarchy,
+                "core": self.core,
+                "predictor": self.predictor,
+                "fetch": fetch,
+                "watchdog": self.watchdog,
+                "recent_commits": self._recent_commits,
+                "skipped_cycles": self.skipped_cycles,
+                "cycle": cycle,
+                "committed": committed,
+            })
+        finally:
+            fetch.trace = saved_trace
+
+    def _install_checkpoint(self, checkpoint: MachineCheckpoint,
+                            measured_trace, original_trace,
+                            warmup: int):
+        """Adopt a checkpoint's state; returns (fetch, cycle, committed).
+
+        Validates that the checkpoint belongs to this machine, trace,
+        and configuration before touching anything.
+        """
+        checkpoint.validate_for(
+            self.machine_label, trace_fingerprint(original_trace),
+            warmup, self.checkpoint_params_key())
+        state = loads_state(checkpoint.payload)
+        try:
+            self.hierarchy = state["hierarchy"]
+            self.core = state["core"]
+            self.predictor = state["predictor"]
+            self.watchdog = state["watchdog"]
+            self._recent_commits = state["recent_commits"]
+            self.skipped_cycles = state["skipped_cycles"]
+            fetch = state["fetch"]
+            cycle = state["cycle"]
+            committed = state["committed"]
+        except KeyError as exc:
+            raise CheckpointCorruption(
+                f"checkpoint state is missing {exc}") from exc
+        fetch.trace = measured_trace
+        if self.metrics is not None:
+            self.metrics.attach(self.hierarchy)
+        return fetch, cycle, committed
 
     def _fill_metrics(self, cycles: int, committed: int,
                       fetch: SelfFetchUnit) -> None:

@@ -1,0 +1,167 @@
+"""Checkpoint store format, corruption handling, and chaos coverage.
+
+The store's contract mirrors the result cache's: a checkpoint is either
+served intact (sha256-verified) or quarantined and treated as absent —
+a corrupt snapshot must never poison a resume.
+"""
+
+import json
+
+import pytest
+
+from repro.ckpt.state import (CheckpointCorruption, CheckpointMismatch,
+                              MachineCheckpoint, dumps_state, loads_state,
+                              trace_fingerprint)
+from repro.ckpt.store import (CHECKPOINT_FORMAT, CheckpointStore, run_key)
+from repro.integrity.chaos import ChaosSpec, apply_chaos
+from repro.uarch.params import core_config
+from repro.uarch.pipeline.machine import SingleCoreMachine
+from repro.workloads.generator import generate_trace
+
+
+def _checkpoint(**overrides) -> MachineCheckpoint:
+    fields = dict(machine="single", workload="gcc", warmup=5,
+                  trace_fingerprint="f" * 16, params_key="pk",
+                  cycle=100, committed=50,
+                  payload=dumps_state({"answer": 41}))
+    fields.update(overrides)
+    return MachineCheckpoint(**fields)
+
+
+def test_save_load_roundtrip(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpts")
+    path = store.save("abc123", _checkpoint())
+    assert path.exists()
+    loaded = store.load("abc123")
+    assert loaded is not None
+    assert loaded.meta() == _checkpoint().meta()
+    assert loads_state(loaded.payload) == {"answer": 41}
+
+
+def test_header_line_is_json_with_checksum(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpts")
+    path = store.save("abc123", _checkpoint())
+    header = json.loads(path.read_bytes().split(b"\n", 1)[0])
+    assert header["format"] == CHECKPOINT_FORMAT
+    assert len(header["sha256"]) == 64
+    assert header["meta"]["machine"] == "single"
+    assert header["meta"]["committed"] == 50
+
+
+def test_load_missing_returns_none(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpts")
+    assert store.load("nope") is None
+
+
+def test_corrupt_payload_quarantined(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpts")
+    path = store.save("abc123", _checkpoint())
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+    assert store.load("abc123") is None
+    assert not path.exists()
+    quarantined = list((tmp_path / "quarantine").iterdir())
+    assert any(entry.suffix != ".reason" for entry in quarantined)
+    assert any(entry.suffix == ".reason" for entry in quarantined)
+
+
+def test_garbage_header_quarantined(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpts")
+    path = store.path_for("abc123")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"this is not a checkpoint\nat all")
+    assert store.load("abc123") is None
+    assert not path.exists()
+
+
+def test_validate_for_mismatches():
+    checkpoint = _checkpoint()
+    checkpoint.validate_for("single", "f" * 16, 5, "pk")  # clean
+    with pytest.raises(CheckpointMismatch):
+        checkpoint.validate_for("fgstp", "f" * 16, 5, "pk")
+    with pytest.raises(CheckpointMismatch):
+        checkpoint.validate_for("single", "0" * 16, 5, "pk")
+    with pytest.raises(CheckpointMismatch):
+        checkpoint.validate_for("single", "f" * 16, 6, "pk")
+    with pytest.raises(CheckpointMismatch):
+        checkpoint.validate_for("single", "f" * 16, 5, "other")
+
+
+def test_loads_state_rejects_garbage():
+    import pickle
+
+    with pytest.raises(CheckpointCorruption):
+        loads_state(b"not a pickle")
+    with pytest.raises(CheckpointCorruption):
+        loads_state(pickle.dumps([1, 2, 3]))  # payload must be a dict
+
+
+def test_run_key_is_stable_and_discriminating():
+    key = run_key("single", "gcc", 100, "pk", "fp")
+    assert key == run_key("single", "gcc", 100, "pk", "fp")
+    assert key != run_key("fgstp", "gcc", 100, "pk", "fp")
+    assert key != run_key("single", "mcf", 100, "pk", "fp")
+    assert key != run_key("single", "gcc", 200, "pk", "fp")
+    assert key != run_key("single", "gcc", 100, "pk2", "fp")
+    assert key != run_key("single", "gcc", 100, "pk", "fp2")
+
+
+def test_trace_fingerprint_sensitivity():
+    trace = generate_trace("gcc", 200, 1)
+    assert trace_fingerprint(trace) == trace_fingerprint(trace)
+    assert trace_fingerprint(trace) != trace_fingerprint(trace[:-1])
+    assert trace_fingerprint(trace) != \
+        trace_fingerprint(generate_trace("gcc", 200, 2))
+
+
+def test_corrupt_checkpoint_chaos_is_detected(tmp_path):
+    """The chaos kind provably lands in the payload and is caught.
+
+    Every file the vandalised sink writes must fail its sha256 check on
+    load, get quarantined, and read back as absent — while the run
+    itself stays bit-identical (checkpoint writes never affect timing).
+    """
+    base = core_config("small")
+    trace = generate_trace("gcc", 2500, 3)
+    store = CheckpointStore(tmp_path / "ckpts")
+
+    machine = SingleCoreMachine(base, checkpoint_interval=600,
+                                checkpoint_sink=store)
+    apply_chaos(machine, ChaosSpec.parse("corrupt_checkpoint"))
+    assert machine._chaos_kinds == ("corrupt_checkpoint",)
+    result = machine.run(trace, workload="gcc", warmup=500)
+
+    plain = SingleCoreMachine(base).run(trace, workload="gcc", warmup=500)
+    assert result.as_dict() == plain.as_dict()
+
+    written = list((tmp_path / "ckpts").glob("*.ckpt"))
+    assert written, "chaos run took no checkpoints"
+    for path in written:
+        assert store.load(path.stem) is None
+    assert not list((tmp_path / "ckpts").glob("*.ckpt"))
+    reasons = list((tmp_path / "quarantine").glob("*.reason"))
+    assert len(reasons) == len(written)
+
+
+def test_corrupt_checkpoint_chaos_never_poisons_run_machine(
+        tmp_path, monkeypatch):
+    """Under env chaos + env interval, ``run_machine`` stays correct:
+    auto-resume refuses the chaos-built machine and results match a
+    clean run exactly."""
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.runners import run_machine
+    from repro.workloads.suite import TraceCache
+
+    base = core_config("small")
+    config = ExperimentConfig(trace_length=2500, warmup=500, seed=3)
+    clean = run_machine("single", "gcc", base, config, cache=TraceCache())
+
+    monkeypatch.setenv("REPRO_CHECKPOINT_INTERVAL", "600")
+    monkeypatch.setenv("REPRO_CHAOS", "corrupt_checkpoint")
+    store = CheckpointStore(tmp_path / "ckpts")
+    for _ in range(2):  # second run must not resume from corrupt files
+        chaotic = run_machine("single", "gcc", base, config,
+                              cache=TraceCache(), checkpoint_sink=store)
+        assert chaotic.as_dict() == clean.as_dict()
